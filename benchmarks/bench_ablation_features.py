@@ -1,0 +1,14 @@
+"""Ablation: counters-only / descriptors-only / both feature sources."""
+
+from repro.experiments.ablations import feature_mode_sweep
+
+from conftest import emit
+
+
+def test_feature_modes(benchmark, data):
+    result = benchmark.pedantic(
+        feature_mode_sweep, args=(data,), rounds=1, iterations=1
+    )
+    both = next(r for r in result.rows if r.label.startswith("both"))
+    assert both.mean_speedup > 1.0
+    emit(result)

@@ -1,0 +1,11 @@
+"""Ablation: the paper's factorised IID mode vs a dependence-aware vote."""
+
+from repro.experiments.ablations import iid_vs_joint
+
+from conftest import emit
+
+
+def test_iid_vs_joint(benchmark, data):
+    result = benchmark.pedantic(iid_vs_joint, args=(data,), rounds=1, iterations=1)
+    assert len(result.rows) == 2
+    emit(result)

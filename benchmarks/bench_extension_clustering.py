@@ -1,0 +1,47 @@
+"""§9 extension: training-set reduction by k-medoids clustering.
+
+The paper's future work proposes clustering to "dramatically reduce the
+amount of training data needed"; this bench measures the model-quality
+cost of training on medoid pairs only.
+"""
+
+from repro.core.clustering import reduce_training_set, training_cost
+from repro.core.crossval import leave_one_out
+from repro.core.predictor import OptimisationPredictor
+
+
+def test_clustered_training_reduction(benchmark, data):
+    full_cost = training_cost(data.training)
+    pair_count = len(data.training.program_names) * len(data.training.machines)
+
+    def run():
+        rows = []
+        for k in (max(pair_count // 8, 2), max(pair_count // 3, 3)):
+            reduced = reduce_training_set(data.training, k=k)
+            predictor = OptimisationPredictor(extended=data.scale.extended).fit(
+                reduced
+            )
+            result = leave_one_out(
+                data.training,
+                data.programs,
+                compiler=data.compiler,
+                predictor=predictor,
+            )
+            rows.append(
+                (
+                    k,
+                    training_cost(reduced) / full_cost,
+                    result.mean_speedup(),
+                    result.fraction_of_best(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Extension: k-medoids training reduction (§9 future work)")
+    print(f"{'medoids':>8s} {'train cost':>11s} {'mean speedup':>13s} "
+          f"{'frac of best':>13s}")
+    for k, cost, speedup, fraction in rows:
+        print(f"{k:8d} {cost:11.1%} {speedup:13.3f} {fraction:13.2%}")
+    assert rows[-1][2] > 1.0

@@ -1,0 +1,11 @@
+"""Figure 1: best passes for three programs on three microarchitectures."""
+
+from repro.experiments import figure1
+
+from conftest import emit
+
+
+def test_figure1(benchmark, data):
+    result = benchmark.pedantic(figure1, args=(data,), rounds=1, iterations=1)
+    assert result.segments
+    emit(result)

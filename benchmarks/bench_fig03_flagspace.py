@@ -1,0 +1,11 @@
+"""Figure 3: the 39-dimension optimisation space cardinalities."""
+
+from repro.experiments import figure3
+
+from conftest import emit
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    assert result.dimensions == 39
+    emit(result)

@@ -1,0 +1,16 @@
+"""Figure 4: distribution of the maximum speedup per program.
+
+Paper shape: overall average ~1.23x; qsort/basicmath flat; rijndael_e and
+search at the top with peaks up to ~4.8x on single machines.
+"""
+
+from repro.experiments import figure4
+
+from conftest import emit
+
+
+def test_figure4(benchmark, data):
+    result = benchmark.pedantic(figure4, args=(data,), rounds=1, iterations=1)
+    assert result.overall_mean > 1.05
+    assert result.maximum.max() > 1.5
+    emit(result)

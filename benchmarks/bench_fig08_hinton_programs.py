@@ -1,0 +1,16 @@
+"""Figure 8: MI(optimisation; speedup) per program.
+
+Paper shape: scheduling matters almost everywhere; unrolling matters for
+search; the inlining family dominates for ispell/pgp/pgp_sa/say.
+"""
+
+from repro.experiments import figure8
+
+from conftest import emit
+
+
+def test_figure8(benchmark, data):
+    result = benchmark.pedantic(figure8, args=(data,), rounds=1, iterations=1)
+    assert result.matrix.max() > 0.0
+    emit(result)
+    print("top cells:", result.top_cells(8))

@@ -1,0 +1,17 @@
+"""Figure 9: MI(feature; best optimisation value).
+
+Paper shape: i_size is the most informative descriptor, driving the
+inlining/unrolling decisions; IPC and the cache-behaviour counters carry
+most of the counter-side information.
+"""
+
+from repro.experiments import figure9
+
+from conftest import emit
+
+
+def test_figure9(benchmark, data):
+    result = benchmark.pedantic(figure9, args=(data,), rounds=1, iterations=1)
+    assert result.matrix.max() > 0.0
+    emit(result)
+    print("top cells:", result.top_cells(8))

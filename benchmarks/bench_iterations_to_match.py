@@ -1,0 +1,13 @@
+"""§5.3: random-search evaluations needed to match the model (paper: ~50)."""
+
+from repro.experiments import iterations_to_match
+
+from conftest import emit
+
+
+def test_iterations_to_match(benchmark, data):
+    result = benchmark.pedantic(
+        iterations_to_match, args=(data,), rounds=1, iterations=1
+    )
+    assert result.overall_mean >= 1.0
+    emit(result)

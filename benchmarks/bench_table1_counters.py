@@ -1,0 +1,11 @@
+"""Table 1: the 11 performance counters of a single -O3 profiling run."""
+
+from repro.experiments import table1
+
+from conftest import emit
+
+
+def test_table1(benchmark, data):
+    result = benchmark.pedantic(table1, args=(data,), rounds=1, iterations=1)
+    assert len(result.counters) == 11
+    emit(result)

@@ -1,0 +1,11 @@
+"""Table 2: the 288,000-point microarchitecture space."""
+
+from repro.experiments import table2
+
+from conftest import emit
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    assert result.base_size == 288_000
+    emit(result)

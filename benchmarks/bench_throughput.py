@@ -1,0 +1,41 @@
+"""Micro-benchmarks: compiler and simulator throughput.
+
+These are the per-unit costs that determine experiment wall-clock: one
+compilation (clone + 20 passes + finalise) and one analytic simulation.
+"""
+
+from repro.compiler import Compiler, o3_setting
+from repro.machine import xscale
+from repro.programs import mibench_program
+from repro.sim import simulate_analytic
+
+
+def test_compile_throughput(benchmark):
+    program = mibench_program("madplay")
+    compiler = Compiler(cache=False)
+    setting = o3_setting()
+    benchmark(compiler.compile, program, setting)
+
+
+def test_compile_small_program(benchmark):
+    program = mibench_program("search")
+    compiler = Compiler(cache=False)
+    setting = o3_setting()
+    benchmark(compiler.compile, program, setting)
+
+
+def test_simulate_throughput(benchmark):
+    program = mibench_program("madplay")
+    binary = Compiler().compile(program, o3_setting())
+    machine = xscale()
+    result = benchmark(simulate_analytic, binary, machine)
+    assert result.cycles > 0
+
+
+def test_program_generation(benchmark):
+    from repro.programs import mibench_spec
+    from repro.programs.generator import build_program
+
+    spec = mibench_spec("madplay")
+    program = benchmark(build_program, spec)
+    assert program.size_insns > 0

@@ -1,0 +1,35 @@
+"""Shared fixtures for the reproduction benches.
+
+Every bench uses the same (disk-cached) dataset at the scale chosen by
+``REPRO_BENCH_SCALE`` (default ``quick``; use ``default`` for all 35
+programs or ``paper`` for the full §4 protocol).  Results print with
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import load_or_build, preset
+
+
+def bench_scale():
+    return preset(os.environ.get("REPRO_BENCH_SCALE", "quick"))
+
+
+@pytest.fixture(scope="session")
+def data():
+    scale = bench_scale()
+    return load_or_build(scale)
+
+
+@pytest.fixture(scope="session")
+def extended_data():
+    scale = bench_scale().with_extended()
+    return load_or_build(scale)
+
+
+def emit(result) -> None:
+    """Print a rendered experiment result beneath the bench output."""
+    print()
+    print(result.render())

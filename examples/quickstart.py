@@ -1,0 +1,67 @@
+"""Quickstart: compile one benchmark two ways and run it on two machines.
+
+This walks the paper's Figure 2 data path by hand:
+
+    program source  ──┐
+    flag setting    ──┼─→ Compiler ─→ CompiledBinary ─→ simulate ─→ cycles,
+    microarchitecture ─┘                                            counters
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compiler import Compiler, o3_setting
+from repro.machine import xscale, xscale_small_icache
+from repro.programs import mibench_program
+from repro.sim import COUNTER_NAMES, simulate
+
+
+def main() -> None:
+    compiler = Compiler()
+    program = mibench_program("rijndael_e")
+    print(f"program: {program.name} — {program.size_insns} static instructions, "
+          f"{program.dynamic_insns:.3g} dynamic\n")
+
+    # Two compilations: gcc-4.2-style -O3, and -O3 with the code-growing
+    # passes disabled (what the paper's model learns to pick on small
+    # instruction caches).
+    aggressive = compiler.compile(program, o3_setting())
+    lean_setting = o3_setting().with_values(
+        finline_functions=False,
+        funswitch_loops=False,
+        fschedule_insns=False,
+        falign_functions=False,
+        falign_jumps=False,
+        falign_loops=False,
+        falign_labels=False,
+    )
+    lean = compiler.compile(program, lean_setting)
+
+    print(f"-O3 binary:  {aggressive.describe()}")
+    print(f"lean binary: {lean.describe()}\n")
+
+    for machine, label in [
+        (xscale(), "XScale (32K I$)"),
+        (xscale_small_icache(), "XScale variant (4K I$)"),
+    ]:
+        o3_run = simulate(aggressive, machine)
+        lean_run = simulate(lean, machine)
+        speedup = o3_run.seconds / lean_run.seconds
+        print(f"on {label}:")
+        print(f"  -O3   {o3_run.cycles:12.3e} cycles   "
+              f"IPC {o3_run.counters.ipc:.3f}   "
+              f"I$ miss {o3_run.counters.icache_miss_rate:.4f}")
+        print(f"  lean  {lean_run.cycles:12.3e} cycles   "
+              f"IPC {lean_run.counters.ipc:.3f}   "
+              f"I$ miss {lean_run.counters.icache_miss_rate:.4f}")
+        print(f"  lean-vs-O3 speedup: {speedup:.2f}x\n")
+
+    # The 11 Table 1 counters of a single -O3 profiling run — exactly the
+    # `c` part of the model's feature vector x = (c, d).
+    profile = simulate(aggressive, xscale())
+    print("Table 1 counters of the -O3 profiling run on the XScale:")
+    for name, value in zip(COUNTER_NAMES, profile.counters.vector()):
+        print(f"  {name:18s} {value:10.4f}")
+
+
+if __name__ == "__main__":
+    main()

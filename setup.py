@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``pip install -e .`` where wheel is available) both work; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""Command-line entry point: reproduce any table or figure.
+
+Examples::
+
+    repro-experiments headline --scale quick
+    repro-experiments fig6 fig7 --scale default
+    repro-experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    beta_sweep,
+    feature_mode_sweep,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    headline,
+    iid_vs_joint,
+    iterations_to_match,
+    knn_k_sweep,
+    load_or_build,
+    preset,
+    quantile_sweep,
+    table1,
+    table2,
+)
+
+#: experiment name -> (needs data, runner)
+EXPERIMENTS = {
+    "table1": (True, table1),
+    "table2": (False, lambda: table2()),
+    "fig1": (True, figure1),
+    "fig3": (False, lambda: figure3()),
+    "fig4": (True, figure4),
+    "fig5": (True, figure5),
+    "fig6": (True, figure6),
+    "fig7": (True, figure7),
+    "fig8": (True, figure8),
+    "fig9": (True, figure9),
+    "fig10": (True, figure10),
+    "headline": (True, headline),
+    "iterations": (True, iterations_to_match),
+    "ablate-k": (True, knn_k_sweep),
+    "ablate-beta": (True, beta_sweep),
+    "ablate-quantile": (True, quantile_sweep),
+    "ablate-features": (True, feature_mode_sweep),
+    "ablate-iid": (True, iid_vs_joint),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of Dubach et al., MICRO 2009",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        help="scale preset: tiny, quick, default, paper (default: quick)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    scale = preset(args.scale)
+    progress = None if args.quiet else lambda message: print(f"  .. {message}")
+
+    data = None
+    if any(EXPERIMENTS[name][0] for name in names):
+        started = time.time()
+        if not args.quiet:
+            print(
+                f"building dataset [{scale.name}]: {len(scale.programs)} programs x "
+                f"{scale.n_machines} machines x {scale.n_settings} settings"
+            )
+        data = load_or_build(scale, progress=progress)
+        if not args.quiet:
+            print(f"dataset ready in {time.time() - started:.1f}s\n")
+
+    for name in names:
+        needs_data, runner = EXPERIMENTS[name]
+        result = runner(data) if needs_data else runner()
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The optimisation-space substrate: a from-scratch mini optimising compiler.
+
+Public surface:
+
+* :class:`Compiler` — (program, flag setting) → :class:`CompiledBinary`;
+* :class:`FlagSpace` / :class:`FlagSetting` — the 39-dimensional optimisation
+  space of the paper's Figure 3, with :func:`o3_setting` as the baseline;
+* the IR types in :mod:`repro.compiler.ir` for program construction.
+"""
+
+from repro.compiler.binary import CompiledBinary, LoopSummary, RegionAccess, finalize
+from repro.compiler.flags import (
+    DEFAULT_SPACE,
+    FLAG_NAMES,
+    FLAG_SPECS,
+    FlagSetting,
+    FlagSpace,
+    FlagSpec,
+    o0_setting,
+    o3_setting,
+)
+from repro.compiler.ir import (
+    BasicBlock,
+    DataRegion,
+    Function,
+    Instruction,
+    Loop,
+    Opcode,
+    Program,
+)
+from repro.compiler.pipeline import Compiler, default_pass_order
+
+__all__ = [
+    "BasicBlock",
+    "CompiledBinary",
+    "Compiler",
+    "DEFAULT_SPACE",
+    "DataRegion",
+    "FLAG_NAMES",
+    "FLAG_SPECS",
+    "FlagSetting",
+    "FlagSpace",
+    "FlagSpec",
+    "Function",
+    "Instruction",
+    "Loop",
+    "LoopSummary",
+    "Opcode",
+    "Program",
+    "RegionAccess",
+    "default_pass_order",
+    "finalize",
+    "o0_setting",
+    "o3_setting",
+]

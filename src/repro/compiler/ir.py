@@ -1,0 +1,527 @@
+"""Intermediate representation for the mini optimising compiler.
+
+The IR is a conventional three-address representation structured as
+programs → functions → basic blocks → instructions, with an explicit loop
+forest and an explicit dynamic execution profile.  It is deliberately rich
+enough that every optimisation flag of the paper's Figure 3 corresponds to a
+genuine code transformation:
+
+* instructions carry *value keys* (``expr``) so the CSE/GCSE family can
+  discover and delete recomputations;
+* memory instructions carry a data *region* and a per-iteration *stride* so
+  the cache model sees real access streams and load/store motion is
+  meaningful;
+* instructions carry intra-block dependence edges (``deps``, as distances to
+  producer instructions) and producer latencies, so instruction scheduling is
+  a real list-scheduling problem and its register-pressure cost is measurable;
+* blocks carry execution counts (the profile), branch behaviour, and layout
+  order matters — block reordering and alignment change the binary.
+
+Dynamic execution counts are represented as floats; a "run" of a program is
+fully described by the profile, which the simulator consumes.  The IR is
+deterministic and owns no randomness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+
+class Opcode(enum.Enum):
+    """Machine-level operation classes of the XScale-style target.
+
+    The categories mirror the functional units tracked by the paper's
+    performance counters (Table 1): ALU, MAC (multiply-accumulate) and the
+    barrel shifter, plus memory and control flow.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    CMP = "cmp"
+    MOV = "mov"
+    MUL = "mul"
+    MAC = "mac"
+    SHL = "shl"
+    SHR = "shr"
+    LOAD = "load"
+    STORE = "store"
+    BR = "br"
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+
+    @property
+    def category(self) -> str:
+        """Functional-unit category: alu, mac, shift, load, store or ctrl."""
+        return _CATEGORY[self]
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        """Control transfers that consult the branch predictor / BTB."""
+        return self in (Opcode.BR, Opcode.JMP, Opcode.CALL, Opcode.RET)
+
+    @property
+    def register_reads(self) -> int:
+        """Register-file read ports consumed, for the regfile counter."""
+        return _REG_READS[self]
+
+
+_CATEGORY = {
+    Opcode.ADD: "alu",
+    Opcode.SUB: "alu",
+    Opcode.AND: "alu",
+    Opcode.OR: "alu",
+    Opcode.XOR: "alu",
+    Opcode.CMP: "alu",
+    Opcode.MOV: "alu",
+    Opcode.MUL: "mac",
+    Opcode.MAC: "mac",
+    Opcode.SHL: "shift",
+    Opcode.SHR: "shift",
+    Opcode.LOAD: "load",
+    Opcode.STORE: "store",
+    Opcode.BR: "ctrl",
+    Opcode.JMP: "ctrl",
+    Opcode.CALL: "ctrl",
+    Opcode.RET: "ctrl",
+    Opcode.NOP: "ctrl",
+}
+
+_REG_READS = {
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.AND: 2,
+    Opcode.OR: 2,
+    Opcode.XOR: 2,
+    Opcode.CMP: 2,
+    Opcode.MOV: 1,
+    Opcode.MUL: 2,
+    Opcode.MAC: 3,
+    Opcode.SHL: 2,
+    Opcode.SHR: 2,
+    Opcode.LOAD: 1,
+    Opcode.STORE: 2,
+    Opcode.BR: 1,
+    Opcode.JMP: 0,
+    Opcode.CALL: 0,
+    Opcode.RET: 0,
+    Opcode.NOP: 0,
+}
+
+#: Default producer latencies in cycles (dcache-hit latency for loads is
+#: machine dependent and substituted by the simulator; 3 is the XScale value).
+DEFAULT_LATENCY = {
+    "alu": 1,
+    "shift": 1,
+    "mac": 3,
+    "load": 3,
+    "store": 1,
+    "ctrl": 1,
+}
+
+#: Dependence-edge producer kinds; ``load`` edges resolve to the machine's
+#: D-cache hit latency at simulation time, the rest are fixed.
+DEP_KINDS = ("alu", "mac", "shift", "load", "carried")
+
+#: Fixed instruction width of the target ISA in bytes (ARM/XScale).
+INSTRUCTION_BYTES = 4
+
+
+# Semantic tags attached by the program generator and honoured by passes.
+TAG_LOCAL_REDUNDANT = "local_redundant"  # removable by CSE within a block
+TAG_GLOBAL_REDUNDANT = "global_redundant"  # removable by GCSE across blocks
+TAG_PARTIAL_REDUNDANT = "partial_redundant"  # removable by tree-PRE
+TAG_RANGE_CHECK = "range_check"  # removable by tree-VRP
+TAG_INVARIANT = "invariant"  # loop-invariant load/ALU, hoistable
+TAG_INVARIANT_STORE = "invariant_store"  # sinkable by store motion
+TAG_AFTER_STORE = "after_store"  # load forwarded from a prior store (LAS)
+TAG_INDUCTION = "induction"  # MUL reducible to ADD by strength reduction
+TAG_PEEPHOLE = "peephole"  # removable by peephole2
+TAG_JUMP_CHAIN = "jump_chain"  # JMP-to-JMP removable by jump threading
+TAG_MERGEABLE_TAIL = "mergeable_tail"  # identical tail, crossjump candidate
+TAG_SIBLING = "sibling"  # tail call, sibling-call candidate
+TAG_SPILL = "spill"  # inserted by the register allocator
+TAG_PROLOGUE = "prologue"  # frame setup, elided when inlined
+TAG_EPILOGUE = "epilogue"  # frame teardown, elided when inlined
+
+ALL_TAGS = frozenset(
+    {
+        TAG_LOCAL_REDUNDANT,
+        TAG_GLOBAL_REDUNDANT,
+        TAG_PARTIAL_REDUNDANT,
+        TAG_RANGE_CHECK,
+        TAG_INVARIANT,
+        TAG_INVARIANT_STORE,
+        TAG_AFTER_STORE,
+        TAG_INDUCTION,
+        TAG_PEEPHOLE,
+        TAG_JUMP_CHAIN,
+        TAG_MERGEABLE_TAIL,
+        TAG_SIBLING,
+        TAG_SPILL,
+        TAG_PROLOGUE,
+        TAG_EPILOGUE,
+    }
+)
+
+
+@dataclass
+class Instruction:
+    """One IR instruction.
+
+    Attributes:
+        opcode: operation class.
+        expr: value key identifying the computation.  Two instructions with
+            the same non-``None`` ``expr`` compute the same value; redundancy
+            elimination passes may delete the later one.
+        region: name of the data region accessed (memory ops only).
+        stride: bytes the access address advances per loop iteration of the
+            enclosing innermost loop.  ``0`` means loop invariant.
+        deps: dependence edges ``(distance, kind)``: the instruction consumes
+            a value produced ``distance`` instructions earlier in the dynamic
+            stream by a producer of the given kind (see ``DEP_KINDS``).
+            Distances may exceed the instruction's block-local index, which
+            denotes a producer in the fall-through predecessor.
+        latency: producer latency in cycles of this instruction's result.
+        tags: semantic markers honoured by specific passes (see TAG_*).
+        callee: callee function name (CALL only).
+        chain: redundancy discovery depth; a GCSE sweep removes redundant
+            instructions with ``chain`` ≤ the number of passes run so far.
+    """
+
+    opcode: Opcode
+    expr: str | None = None
+    region: str | None = None
+    stride: int = 0
+    deps: tuple[tuple[int, str], ...] = ()
+    latency: int = 0
+    tags: frozenset[str] = frozenset()
+    callee: str | None = None
+    chain: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency == 0:
+            self.latency = DEFAULT_LATENCY[self.opcode.category]
+        if self.opcode.is_memory and self.region is None:
+            raise ValueError(f"{self.opcode} requires a data region")
+        if self.opcode is Opcode.CALL and self.callee is None:
+            raise ValueError("CALL requires a callee")
+        unknown = self.tags - ALL_TAGS
+        if unknown:
+            raise ValueError(f"unknown instruction tags: {sorted(unknown)}")
+        for distance, kind in self.deps:
+            if distance < 1:
+                raise ValueError(f"dep distance must be >= 1: {distance}")
+            if kind not in DEP_KINDS:
+                raise ValueError(f"unknown dep kind {kind!r}")
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def clone(self) -> "Instruction":
+        return replace(self)
+
+    @property
+    def size_bytes(self) -> int:
+        return INSTRUCTION_BYTES
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line instruction sequence with a single entry and exit.
+
+    ``exec_count`` is the dynamic execution count of the block from the
+    program's profile; it is a float so that scaled workloads (e.g. the
+    paper's 100M-instruction inputs) can be modelled without materialising
+    traces.
+    """
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[str] = field(default_factory=list)
+    exec_count: float = 0.0
+    taken_prob: float = 0.0
+    predictability: float = 0.97
+    invariant_branch: bool = False
+    pad_bytes: int = 0
+    aligned: bool = False
+    is_loop_header: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.taken_prob <= 1.0:
+            raise ValueError(f"taken_prob out of range: {self.taken_prob}")
+        if not 0.0 <= self.predictability <= 1.0:
+            raise ValueError(f"predictability out of range: {self.predictability}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Static code bytes of the block, including alignment padding."""
+        return len(self.instructions) * INSTRUCTION_BYTES + self.pad_bytes
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The terminating control-flow instruction, if any."""
+        if self.instructions and self.instructions[-1].opcode.is_branch:
+            return self.instructions[-1]
+        return None
+
+    def body_and_terminator(self) -> tuple[list[Instruction], Instruction | None]:
+        """Split the block into its straight-line body and its terminator."""
+        term = self.terminator
+        if term is None:
+            return list(self.instructions), None
+        return list(self.instructions[:-1]), term
+
+    def clone(self, new_label: str | None = None) -> "BasicBlock":
+        return BasicBlock(
+            label=new_label or self.label,
+            instructions=[insn.clone() for insn in self.instructions],
+            successors=list(self.successors),
+            exec_count=self.exec_count,
+            taken_prob=self.taken_prob,
+            predictability=self.predictability,
+            invariant_branch=self.invariant_branch,
+            pad_bytes=self.pad_bytes,
+            aligned=self.aligned,
+            is_loop_header=self.is_loop_header,
+        )
+
+
+@dataclass
+class Loop:
+    """A natural loop: a header plus body blocks, with profile information.
+
+    ``trip_count`` is the average number of iterations per entry and
+    ``entries`` the dynamic number of times the loop is entered, so the body
+    executes ``entries * trip_count`` times.  ``carried_dep_latency`` > 0
+    marks a serial loop-carried dependence (e.g. a pointer chase or a hash
+    feedback), which caps the ILP that unrolling can expose.
+    """
+
+    header: str
+    blocks: list[str]
+    trip_count: float
+    entries: float
+    depth: int = 1
+    parent: str | None = None
+    carried_dep_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if self.header not in self.blocks:
+            raise ValueError(f"loop header {self.header!r} not in body blocks")
+        if self.trip_count < 1.0:
+            raise ValueError(f"trip_count must be >= 1: {self.trip_count}")
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1: {self.depth}")
+
+    @property
+    def iterations(self) -> float:
+        """Total dynamic iterations of the loop."""
+        return self.trip_count * self.entries
+
+
+@dataclass
+class DataRegion:
+    """A named data object (array, table, stack frame or linked structure).
+
+    ``kind`` drives the cache model: ``stream`` regions are accessed with
+    regular strides, ``table`` regions with data-dependent indices of high
+    locality, ``chase`` regions with dependent pointer dereferences, and
+    ``stack`` is the spill/local area.
+    """
+
+    name: str
+    size_bytes: int
+    kind: str = "stream"
+
+    VALID_KINDS = ("stream", "table", "chase", "stack")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise ValueError(f"unknown region kind {self.kind!r}")
+        if self.size_bytes <= 0:
+            raise ValueError("region size must be positive")
+
+
+@dataclass
+class Function:
+    """A function: ordered blocks (the order *is* the code layout), a loop
+    forest over those blocks, and inlining metadata."""
+
+    name: str
+    blocks: dict[str, BasicBlock]
+    layout: list[str]
+    loops: list[Loop] = field(default_factory=list)
+    inline_candidate: bool = False
+    entry_count: float = 0.0
+
+    def __post_init__(self) -> None:
+        if set(self.layout) != set(self.blocks):
+            raise ValueError(f"layout and blocks disagree in {self.name!r}")
+        for loop in self.loops:
+            for label in loop.blocks:
+                if label not in self.blocks:
+                    raise ValueError(
+                        f"loop block {label!r} missing from function {self.name!r}"
+                    )
+
+    def block_list(self) -> list[BasicBlock]:
+        """Blocks in layout order."""
+        return [self.blocks[label] for label in self.layout]
+
+    @property
+    def size_insns(self) -> int:
+        return sum(len(block.instructions) for block in self.blocks.values())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes for block in self.blocks.values())
+
+    @property
+    def dynamic_insns(self) -> float:
+        return sum(
+            block.exec_count * len(block.instructions)
+            for block in self.blocks.values()
+        )
+
+    def call_sites(self) -> Iterator[tuple[str, int, Instruction]]:
+        """Yield ``(block_label, index, instruction)`` for every CALL."""
+        for label in self.layout:
+            block = self.blocks[label]
+            for index, insn in enumerate(block.instructions):
+                if insn.opcode is Opcode.CALL:
+                    yield label, index, insn
+
+    def innermost_loops(self) -> list[Loop]:
+        headers_with_children = {
+            loop.parent for loop in self.loops if loop.parent is not None
+        }
+        return [loop for loop in self.loops if loop.header not in headers_with_children]
+
+    def loop_of_block(self, label: str) -> Loop | None:
+        """The innermost loop containing ``label``, or ``None``."""
+        best: Loop | None = None
+        for loop in self.loops:
+            if label in loop.blocks and (best is None or loop.depth > best.depth):
+                best = loop
+        return best
+
+    def clone(self) -> "Function":
+        return Function(
+            name=self.name,
+            blocks={label: block.clone() for label, block in self.blocks.items()},
+            layout=list(self.layout),
+            loops=[replace(loop, blocks=list(loop.blocks)) for loop in self.loops],
+            inline_candidate=self.inline_candidate,
+            entry_count=self.entry_count,
+        )
+
+
+@dataclass
+class Program:
+    """A whole program: functions, an entry point and its data regions."""
+
+    name: str
+    functions: dict[str, Function]
+    entry: str
+    regions: dict[str, DataRegion] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.entry not in self.functions:
+            raise ValueError(f"entry function {self.entry!r} not defined")
+
+    @property
+    def size_insns(self) -> int:
+        return sum(function.size_insns for function in self.functions.values())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(function.size_bytes for function in self.functions.values())
+
+    @property
+    def dynamic_insns(self) -> float:
+        return sum(function.dynamic_insns for function in self.functions.values())
+
+    def region(self, name: str) -> DataRegion:
+        return self.regions[name]
+
+    def clone(self) -> "Program":
+        return Program(
+            name=self.name,
+            functions={name: fn.clone() for name, fn in self.functions.items()},
+            entry=self.entry,
+            regions=dict(self.regions),
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation.
+
+        Verified invariants:
+
+        * every block successor exists in the same function;
+        * every CALL has a defined callee;
+        * every memory instruction references a declared region.
+        """
+        for function in self.functions.values():
+            for label in function.layout:
+                block = function.blocks[label]
+                for successor in block.successors:
+                    if successor not in function.blocks:
+                        raise ValueError(
+                            f"{function.name}/{label}: unknown successor {successor!r}"
+                        )
+                for insn in block.instructions:
+                    if insn.opcode is Opcode.CALL:
+                        if insn.callee not in self.functions:
+                            raise ValueError(
+                                f"{function.name}/{label}: unknown callee {insn.callee!r}"
+                            )
+                    if insn.opcode.is_memory and insn.region not in self.regions:
+                        raise ValueError(
+                            f"{function.name}/{label}: unknown region {insn.region!r}"
+                        )
+
+
+def total_static_bytes(program: Program) -> int:
+    """Static code footprint of the program in bytes."""
+    return program.size_bytes
+
+
+def dynamic_mix(program: Program) -> dict[str, float]:
+    """Dynamic instruction counts per functional-unit category."""
+    mix = {"alu": 0.0, "mac": 0.0, "shift": 0.0, "load": 0.0, "store": 0.0, "ctrl": 0.0}
+    for function in program.functions.values():
+        for block in function.blocks.values():
+            for insn in block.instructions:
+                mix[insn.opcode.category] += block.exec_count
+    return mix
+
+
+def iter_instructions(program: Program) -> Iterator[tuple[Function, BasicBlock, Instruction]]:
+    """Iterate over every instruction with its enclosing function and block."""
+    for function in program.functions.values():
+        for label in function.layout:
+            block = function.blocks[label]
+            for insn in block.instructions:
+                yield function, block, insn
+
+
+def fresh_label(existing: Iterable[str], base: str) -> str:
+    """Return a label derived from ``base`` not present in ``existing``."""
+    taken = set(existing)
+    if base not in taken:
+        return base
+    suffix = 1
+    while f"{base}.{suffix}" in taken:
+        suffix += 1
+    return f"{base}.{suffix}"

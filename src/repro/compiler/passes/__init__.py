@@ -1,0 +1,43 @@
+"""Optimisation passes, one module per flag family of the paper's Figure 3."""
+
+from repro.compiler.passes.align import AlignPass
+from repro.compiler.passes.base import Pass, PassStats
+from repro.compiler.passes.cse import CsePass, RerunCsePass
+from repro.compiler.passes.gcse import GcseAfterReloadPass, GcsePass
+from repro.compiler.passes.inline import InlineFunctionsPass
+from repro.compiler.passes.jumps import CrossJumpPass, ThreadJumpsPass
+from repro.compiler.passes.loopopt import (
+    LoopInvariantMotionPass,
+    RerunLoopOptPass,
+    StrengthReducePass,
+    UnswitchLoopsPass,
+)
+from repro.compiler.passes.misc import PeepholePass, SiblingCallPass
+from repro.compiler.passes.reorder import ReorderBlocksPass
+from repro.compiler.passes.schedule import ScheduleInsnsPass
+from repro.compiler.passes.tree import TreePrePass, TreeVrpPass
+from repro.compiler.passes.unroll import UnrollLoopsPass
+
+__all__ = [
+    "AlignPass",
+    "CrossJumpPass",
+    "CsePass",
+    "GcseAfterReloadPass",
+    "GcsePass",
+    "InlineFunctionsPass",
+    "LoopInvariantMotionPass",
+    "Pass",
+    "PassStats",
+    "PeepholePass",
+    "ReorderBlocksPass",
+    "RerunCsePass",
+    "RerunLoopOptPass",
+    "ScheduleInsnsPass",
+    "SiblingCallPass",
+    "StrengthReducePass",
+    "ThreadJumpsPass",
+    "TreePrePass",
+    "TreeVrpPass",
+    "UnrollLoopsPass",
+    "UnswitchLoopsPass",
+]

@@ -1,0 +1,143 @@
+"""Shared machinery for optimisation passes.
+
+Passes mutate a working copy of the program IR.  The two fiddly operations —
+deleting and inserting instructions while keeping dependence distances
+consistent — live here so each pass stays small and every pass preserves the
+IR invariants the same way.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.compiler.flags import FlagSetting
+from repro.compiler.ir import BasicBlock, Instruction, Program
+
+
+class PassStats(Counter):
+    """Per-compilation event counters, e.g. ``stats["gcse.removed"] += 1``.
+
+    Used by tests to assert that a pass actually did something, and surfaced
+    on the compiled binary for analysis.
+    """
+
+
+class Pass:
+    """An optimisation pass gated by one or more flags."""
+
+    #: Human-readable pass name, used as the stats prefix.
+    name: str = "pass"
+
+    def enabled(self, flags: FlagSetting) -> bool:
+        raise NotImplementedError
+
+    def run(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        raise NotImplementedError
+
+    def apply(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        """Run the pass if its flags enable it."""
+        if self.enabled(flags):
+            self.run(program, flags, stats)
+            stats[f"{self.name}.ran"] += 1
+
+
+def delete_instructions(block: BasicBlock, indices: Iterable[int]) -> int:
+    """Remove the instructions at ``indices``, remapping dependence edges.
+
+    Consumers of a deleted instruction lose that edge (the value is provided
+    by the original, far-away computation, so no stall arises).  Edges that
+    merely *cross* a deleted instruction shrink by the number of deletions
+    between producer and consumer — deleting code genuinely packs dependent
+    instructions closer together.
+
+    Returns the number of instructions removed.
+    """
+    doomed = set(indices)
+    if not doomed:
+        return 0
+    old_instructions = block.instructions
+    old_to_new: dict[int, int] = {}
+    kept: list[tuple[int, Instruction]] = []
+    for old_index, insn in enumerate(old_instructions):
+        if old_index not in doomed:
+            old_to_new[old_index] = len(kept)
+            kept.append((old_index, insn))
+
+    new_instructions: list[Instruction] = []
+    for new_index, (old_index, insn) in enumerate(kept):
+        if insn.deps:
+            new_deps: list[tuple[int, str]] = []
+            for distance, kind in insn.deps:
+                producer = old_index - distance
+                if producer < 0:
+                    # Cross-block producer: preserve the reach beyond the
+                    # block start.
+                    new_deps.append((new_index - producer, kind))
+                elif producer in doomed:
+                    continue
+                else:
+                    new_deps.append((new_index - old_to_new[producer], kind))
+            insn.deps = tuple(new_deps)
+        new_instructions.append(insn)
+    removed = len(old_instructions) - len(new_instructions)
+    block.instructions = new_instructions
+    return removed
+
+
+def insert_instructions(
+    block: BasicBlock, position: int, new_insns: Sequence[Instruction]
+) -> None:
+    """Insert instructions at ``position``, stretching crossing dependences.
+
+    An edge whose producer sits before the insertion point and whose consumer
+    after it grows by the number of inserted instructions — inserted code
+    spaces dependent instructions apart, exactly as in a real binary.
+    """
+    count = len(new_insns)
+    if count == 0:
+        return
+    for old_index in range(position, len(block.instructions)):
+        insn = block.instructions[old_index]
+        if not insn.deps:
+            continue
+        new_deps = []
+        for distance, kind in insn.deps:
+            producer = old_index - distance
+            if producer < position:
+                new_deps.append((distance + count, kind))
+            else:
+                new_deps.append((distance, kind))
+        insn.deps = tuple(new_deps)
+    block.instructions[position:position] = list(new_insns)
+
+
+def remove_tagged(
+    block: BasicBlock, tag: str, predicate=None
+) -> int:
+    """Delete all instructions in ``block`` carrying ``tag``.
+
+    ``predicate`` optionally restricts which tagged instructions die.
+    Returns the number removed.
+    """
+    doomed = [
+        index
+        for index, insn in enumerate(block.instructions)
+        if insn.has_tag(tag) and (predicate is None or predicate(insn))
+    ]
+    return delete_instructions(block, doomed)
+
+
+def loop_preheader(function, loop) -> BasicBlock | None:
+    """The unique block outside ``loop`` that falls into its header.
+
+    The program generator guarantees every loop has one; return ``None``
+    defensively if a transformed CFG lost it.
+    """
+    for label in function.layout:
+        if label in loop.blocks:
+            continue
+        block = function.blocks[label]
+        if loop.header in block.successors:
+            return block
+    return None

@@ -1,0 +1,201 @@
+"""Global common-subexpression elimination and its sub-passes.
+
+This module implements gcc's ``-fgcse`` family:
+
+* the core global elimination (availability tracked across blocks);
+* load motion (on by default, disabled by ``-fno-gcse-lm``): loop-invariant
+  loads are hoisted to the loop preheader;
+* store motion (``-fgcse-sm``): loop-invariant stores are sunk to the loop
+  exit;
+* load-after-store elimination (``-fgcse-las``): loads forwarded from a
+  preceding store to the same location are deleted;
+* ``--param max-gcse-passes``: repeated sweeps discover *chained*
+  redundancies (an expression only exposed as redundant once an earlier
+  sweep removed its producer's duplicate) — instructions carry a ``chain``
+  depth and sweep ``p`` may remove depths ≤ ``p``.  Without
+  ``-fexpensive-optimizations`` only one sweep runs, as in gcc;
+* ``-fgcse-after-reload``: a post-register-allocation cleanup that deletes
+  redundant spill reloads.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.flags import FlagSetting
+from repro.compiler.ir import (
+    Opcode,
+    Program,
+    TAG_AFTER_STORE,
+    TAG_GLOBAL_REDUNDANT,
+    TAG_INVARIANT,
+    TAG_INVARIANT_STORE,
+    TAG_SPILL,
+    Function,
+    Loop,
+)
+from repro.compiler.passes.base import (
+    Pass,
+    PassStats,
+    delete_instructions,
+    insert_instructions,
+    loop_preheader,
+)
+
+
+def _global_sweeps(function: Function, max_depth: int) -> int:
+    """Remove globally redundant instructions with chain depth ≤ max_depth.
+
+    Availability is approximated by layout order, which the generator
+    guarantees to be a topological order of the acyclic part of the CFG —
+    an expression computed in an earlier block dominates later recomputation
+    sites for tagged instructions.
+    """
+    removed = 0
+    available: set[str] = set()
+    for label in function.layout:
+        block = function.blocks[label]
+        doomed: list[int] = []
+        for index, insn in enumerate(block.instructions):
+            if (
+                insn.has_tag(TAG_GLOBAL_REDUNDANT)
+                and insn.expr is not None
+                and insn.expr in available
+                and insn.chain <= max_depth
+            ):
+                doomed.append(index)
+            elif insn.expr is not None:
+                available.add(insn.expr)
+        removed += delete_instructions(block, doomed)
+    return removed
+
+
+def _hoistable_loads(function: Function, loop: Loop) -> list[tuple[str, int]]:
+    """(block label, index) of loop-invariant loads in ``loop``'s body."""
+    found = []
+    for label in loop.blocks:
+        block = function.blocks[label]
+        for index, insn in enumerate(block.instructions):
+            if (
+                insn.opcode is Opcode.LOAD
+                and insn.has_tag(TAG_INVARIANT)
+                and insn.stride == 0
+            ):
+                found.append((label, index))
+    return found
+
+
+def _sinkable_stores(function: Function, loop: Loop) -> list[tuple[str, int]]:
+    found = []
+    for label in loop.blocks:
+        block = function.blocks[label]
+        for index, insn in enumerate(block.instructions):
+            if insn.opcode is Opcode.STORE and insn.has_tag(TAG_INVARIANT_STORE):
+                found.append((label, index))
+    return found
+
+
+def _loop_exit(function: Function, loop: Loop):
+    """First block outside the loop reached from inside it."""
+    member = set(loop.blocks)
+    for label in loop.blocks:
+        for successor in function.blocks[label].successors:
+            if successor not in member:
+                return function.blocks[successor]
+    return None
+
+
+class GcsePass(Pass):
+    """``-fgcse`` with its load/store-motion and LAS sub-flags."""
+
+    name = "gcse"
+
+    def enabled(self, flags: FlagSetting) -> bool:
+        return bool(flags["fgcse"])
+
+    def run(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        max_passes = int(flags["param_max_gcse_passes"])
+        if not flags["fexpensive_optimizations"]:
+            max_passes = 1
+        load_motion = not flags["fno_gcse_lm"]
+        store_motion = bool(flags["fgcse_sm"])
+        las = bool(flags["fgcse_las"])
+
+        for function in program.functions.values():
+            for sweep in range(1, max_passes + 1):
+                removed = _global_sweeps(function, sweep)
+                stats["gcse.removed"] += removed
+                if removed == 0 and sweep > 1:
+                    break
+
+            if las:
+                for block in function.blocks.values():
+                    doomed = [
+                        index
+                        for index, insn in enumerate(block.instructions)
+                        if insn.opcode is Opcode.LOAD and insn.has_tag(TAG_AFTER_STORE)
+                    ]
+                    stats["gcse.las_removed"] += delete_instructions(block, doomed)
+
+            # Innermost loops first so a load hoisted from a nested loop can
+            # in principle be seen by an outer sweep; each hoist moves the
+            # access from `iterations` executions to `entries` executions.
+            loops = sorted(function.loops, key=lambda loop: -loop.depth)
+            for loop in loops:
+                if load_motion:
+                    self._hoist(function, loop, stats)
+                if store_motion:
+                    self._sink(function, loop, stats)
+
+    def _hoist(self, function: Function, loop: Loop, stats: PassStats) -> None:
+        preheader = loop_preheader(function, loop)
+        if preheader is None:
+            return
+        for label, index in reversed(_hoistable_loads(function, loop)):
+            block = function.blocks[label]
+            insn = block.instructions[index]
+            delete_instructions(block, [index])
+            hoisted = insn.clone()
+            hoisted.deps = ()  # operands are invariant, available long before
+            position = len(preheader.instructions)
+            if preheader.terminator is not None:
+                position -= 1
+            insert_instructions(preheader, position, [hoisted])
+            stats["gcse.loads_hoisted"] += 1
+
+    def _sink(self, function: Function, loop: Loop, stats: PassStats) -> None:
+        exit_block = _loop_exit(function, loop)
+        if exit_block is None:
+            return
+        for label, index in reversed(_sinkable_stores(function, loop)):
+            block = function.blocks[label]
+            insn = block.instructions[index]
+            delete_instructions(block, [index])
+            sunk = insn.clone()
+            sunk.deps = ()
+            insert_instructions(exit_block, 0, [sunk])
+            stats["gcse.stores_sunk"] += 1
+
+
+class GcseAfterReloadPass(Pass):
+    """``-fgcse-after-reload``: delete redundant spill reloads post-RA.
+
+    After register allocation some reloads are redundant because the spilled
+    value is still live in a call-clobbered or temporarily free register.
+    gcc's post-reload GCSE catches roughly the easy half of them; here every
+    second reload per block (deterministically, by position) is removable.
+    """
+
+    name = "gcse_after_reload"
+
+    def enabled(self, flags: FlagSetting) -> bool:
+        return bool(flags["fgcse"]) and bool(flags["fgcse_after_reload"])
+
+    def run(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        for function in program.functions.values():
+            for block in function.blocks.values():
+                reload_indices = [
+                    index
+                    for index, insn in enumerate(block.instructions)
+                    if insn.opcode is Opcode.LOAD and insn.has_tag(TAG_SPILL)
+                ]
+                doomed = reload_indices[1::2]
+                stats["gcse.reloads_removed"] += delete_instructions(block, doomed)

@@ -1,0 +1,56 @@
+"""Small late passes: peephole2 and sibling-call optimisation.
+
+(``-fcaller-saves`` and ``-fregmove`` act inside the register allocator —
+see :mod:`repro.compiler.regalloc` — since both are register-assignment
+policies rather than standalone rewrites.)
+"""
+
+from __future__ import annotations
+
+from repro.compiler.flags import FlagSetting
+from repro.compiler.ir import Opcode, Program, TAG_PEEPHOLE, TAG_SIBLING
+from repro.compiler.passes.base import Pass, PassStats, delete_instructions, remove_tagged
+
+
+class PeepholePass(Pass):
+    """``-fpeephole2``: delete the redundant move/compare patterns the
+    generator marked as peephole-removable."""
+
+    name = "peephole"
+
+    def enabled(self, flags: FlagSetting) -> bool:
+        return bool(flags["fpeephole2"])
+
+    def run(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        for function in program.functions.values():
+            for block in function.blocks.values():
+                stats["peephole.removed"] += remove_tagged(block, TAG_PEEPHOLE)
+
+
+class SiblingCallPass(Pass):
+    """``-foptimize-sibling-calls``: tail call + RET → direct jump.
+
+    A tagged CALL immediately followed by a RET becomes a JMP to the callee
+    and the RET disappears: one fewer dynamic instruction and one fewer
+    return-predictor event per execution.
+    """
+
+    name = "sibcall"
+
+    def enabled(self, flags: FlagSetting) -> bool:
+        return bool(flags["foptimize_sibling_calls"])
+
+    def run(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        for function in program.functions.values():
+            for block in function.blocks.values():
+                for index, insn in enumerate(block.instructions):
+                    if (
+                        insn.opcode is Opcode.CALL
+                        and insn.has_tag(TAG_SIBLING)
+                        and index + 1 < len(block.instructions)
+                        and block.instructions[index + 1].opcode is Opcode.RET
+                    ):
+                        delete_instructions(block, [index + 1])
+                        insn.opcode = Opcode.JMP
+                        stats["sibcall.converted"] += 1
+                        break

@@ -1,0 +1,124 @@
+"""Basic-block reordering (``-freorder-blocks``).
+
+The pass lays out each function as hot fall-through chains, the classic
+Pettis–Hansen bottom-up approach simplified to greedy chain following:
+
+* starting from the entry block, repeatedly place the unplaced successor
+  with the highest incoming edge frequency;
+* cold leftovers (never-executed clones, error paths) are appended at the
+  end, pulling them out of the hot loops' cache span;
+* a conditional branch whose *taken* target gets placed as the fall-through
+  has its polarity flipped (``taken_prob`` inverts);
+* an unconditional JMP whose target ends up immediately after its block is
+  deleted; conversely a block whose old fall-through successor moved away
+  gains an explicit JMP.
+
+The measurable effects: fewer taken branches (fetch bubbles and BTB
+pressure) and a tighter hot-loop footprint — with the cost of extra jumps on
+cold paths.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.flags import FlagSetting
+from repro.compiler.ir import Instruction, Opcode, Program, Function
+from repro.compiler.passes.base import Pass, PassStats, delete_instructions, insert_instructions
+
+
+def _edge_frequency(block, successor_label: str) -> float:
+    """Approximate dynamic frequency of the edge block → successor."""
+    if not block.successors:
+        return 0.0
+    if len(block.successors) == 1:
+        return block.exec_count
+    if successor_label == block.successors[0]:
+        return block.exec_count * (1.0 - block.taken_prob)
+    return block.exec_count * block.taken_prob
+
+
+class ReorderBlocksPass(Pass):
+    """``-freorder-blocks``: hot-path-first code layout."""
+
+    name = "reorder"
+
+    def enabled(self, flags: FlagSetting) -> bool:
+        return bool(flags["freorder_blocks"])
+
+    def run(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        for function in program.functions.values():
+            self._reorder_function(function, stats)
+
+    def _reorder_function(self, function: Function, stats: PassStats) -> None:
+        if len(function.layout) < 3:
+            return
+        entry = function.layout[0]
+        placed: list[str] = []
+        unplaced = set(function.layout)
+
+        current = entry
+        while True:
+            placed.append(current)
+            unplaced.discard(current)
+            block = function.blocks[current]
+            candidates = [
+                successor for successor in block.successors if successor in unplaced
+            ]
+            if candidates:
+                current = max(
+                    candidates,
+                    key=lambda label: (_edge_frequency(block, label), label),
+                )
+                continue
+            # Chain ended: restart from the hottest unplaced block.
+            if not unplaced:
+                break
+            current = max(
+                unplaced,
+                key=lambda label: (function.blocks[label].exec_count, label),
+            )
+
+        if placed == function.layout:
+            return
+        function.layout = placed
+        self._fix_terminators(function, stats)
+        stats["reorder.functions"] += 1
+
+    def _fix_terminators(self, function: Function, stats: PassStats) -> None:
+        layout = function.layout
+        next_of = {
+            label: layout[position + 1] if position + 1 < len(layout) else None
+            for position, label in enumerate(layout)
+        }
+        for label in layout:
+            block = function.blocks[label]
+            following = next_of[label]
+            terminator = block.terminator
+
+            if terminator is not None and terminator.opcode is Opcode.BR:
+                if len(block.successors) == 2:
+                    fallthrough, target = block.successors
+                    if target == following:
+                        # Flip polarity: the old taken target now falls
+                        # through and the old fall-through is branched to.
+                        block.successors = [target, fallthrough]
+                        block.taken_prob = 1.0 - block.taken_prob
+                        stats["reorder.branches_flipped"] += 1
+                    elif fallthrough != following:
+                        # Neither successor follows: an explicit jump to the
+                        # old fall-through is required after the branch.
+                        jump = Instruction(opcode=Opcode.JMP)
+                        insert_instructions(
+                            block, len(block.instructions), [jump]
+                        )
+                        stats["reorder.jumps_added"] += 1
+            elif terminator is not None and terminator.opcode is Opcode.JMP:
+                if block.successors and block.successors[0] == following:
+                    delete_instructions(block, [len(block.instructions) - 1])
+                    block.taken_prob = 0.0
+                    stats["reorder.jumps_removed"] += 1
+            elif terminator is None and block.successors:
+                if block.successors[0] != following and following is not None:
+                    jump = Instruction(opcode=Opcode.JMP)
+                    insert_instructions(block, len(block.instructions), [jump])
+                    block.taken_prob = 1.0
+                    stats["reorder.jumps_added"] += 1

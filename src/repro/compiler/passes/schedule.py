@@ -1,0 +1,330 @@
+"""Instruction scheduling (``-fschedule-insns`` and its two sub-flags).
+
+The scheduler is a classic critical-path list scheduler over each block's
+dependence DAG.  Reordering stretches producer→consumer distances, which is
+exactly what removes load-use and multiply-use stalls on the in-order
+XScale pipeline — and it lengthens live ranges, which is exactly what
+raises register pressure and triggers spill code.  Both effects are
+measured, not asserted: stalls are recomputed from the final instruction
+order at simulation time, and pressure from the final live intervals at
+register-allocation time.
+
+Sub-flags:
+
+* interblock scheduling (default on; ``-fno-sched-interblock`` disables it)
+  first merges pure fall-through, same-frequency block chains inside a loop
+  into a single scheduling region, widening the window — this is also what
+  lets the scheduler interleave the copies an unroller just created;
+* speculative scheduling (default on; ``-fno-sched-spec`` disables it)
+  permits loads to move above stores to *other* regions; without it every
+  store is a barrier for every later load.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.flags import FlagSetting
+from repro.compiler.ir import (
+    DEFAULT_LATENCY,
+    Opcode,
+    Program,
+    BasicBlock,
+    Function,
+)
+from repro.compiler.passes.base import Pass, PassStats
+
+
+#: Values live across a block (loop-carried variables, globals) that occupy
+#: registers regardless of the block's internal schedule.
+BASELINE_LIVE = 4
+
+#: Scheduling-region size cap; gcc bounds its regions similarly.
+MAX_REGION_INSNS = 96
+
+
+def merge_fallthrough_chains(
+    function: Function, stats: PassStats, region_cap: int = MAX_REGION_INSNS
+) -> None:
+    """Merge pure fall-through same-frequency chains into single blocks.
+
+    A block is absorbed into its layout predecessor when the predecessor has
+    no terminator, exactly one successor (the block), identical execution
+    count, the block has no other predecessors, is not a loop header, and
+    both live in the same innermost loop.
+    """
+    predecessor_count: dict[str, int] = {label: 0 for label in function.blocks}
+    for block in function.blocks.values():
+        for successor in block.successors:
+            if successor in predecessor_count:
+                predecessor_count[successor] += 1
+
+    merged = True
+    while merged:
+        merged = False
+        for position in range(len(function.layout) - 1):
+            first_label = function.layout[position]
+            second_label = function.layout[position + 1]
+            first = function.blocks[first_label]
+            second = function.blocks[second_label]
+            if first.terminator is not None:
+                continue
+            if first.successors != [second_label]:
+                continue
+            if predecessor_count.get(second_label, 0) != 1:
+                continue
+            if second.is_loop_header:
+                continue
+            if abs(first.exec_count - second.exec_count) > 1e-6 * max(
+                first.exec_count, 1.0
+            ):
+                continue
+            first_loop = function.loop_of_block(first_label)
+            second_loop = function.loop_of_block(second_label)
+            if (first_loop.header if first_loop else None) != (
+                second_loop.header if second_loop else None
+            ):
+                continue
+            if len(first.instructions) + len(second.instructions) > region_cap:
+                continue
+            # Merge: concatenation preserves all dependence distances,
+            # including the cross-block ones that become intra-block.
+            first.instructions.extend(second.instructions)
+            first.successors = list(second.successors)
+            first.taken_prob = second.taken_prob
+            first.predictability = second.predictability
+            first.invariant_branch = second.invariant_branch
+            del function.blocks[second_label]
+            function.layout.remove(second_label)
+            for loop in function.loops:
+                if second_label in loop.blocks:
+                    loop.blocks.remove(second_label)
+            predecessor_count[second_label] = 0
+            stats["schedule.blocks_merged"] += 1
+            merged = True
+            break
+
+
+def _dependence_edges(
+    block: BasicBlock, allow_speculation: bool
+) -> list[list[int]]:
+    """Predecessor lists for the block's scheduling DAG.
+
+    Edges come from explicit value dependences plus memory-ordering
+    constraints: stores are ordered with other stores and loads of the same
+    region; without speculative scheduling, stores bar *all* later loads.
+    """
+    instructions = block.instructions
+    count = len(instructions)
+    predecessors: list[list[int]] = [[] for _ in range(count)]
+    for index, insn in enumerate(instructions):
+        for distance, _ in insn.deps:
+            producer = index - distance
+            if 0 <= producer < count:
+                predecessors[index].append(producer)
+
+    last_store_by_region: dict[str, int] = {}
+    last_store_any = -1
+    for index, insn in enumerate(instructions):
+        if insn.opcode is Opcode.STORE:
+            previous = last_store_by_region.get(insn.region, -1)
+            if previous >= 0:
+                predecessors[index].append(previous)
+            last_store_by_region[insn.region] = index
+            last_store_any = index
+        elif insn.opcode is Opcode.LOAD:
+            if allow_speculation:
+                previous = last_store_by_region.get(insn.region, -1)
+            else:
+                previous = last_store_any
+            if previous >= 0:
+                predecessors[index].append(previous)
+    return predecessors
+
+
+def _latency_of(insn) -> int:
+    return DEFAULT_LATENCY[insn.opcode.category]
+
+
+def list_schedule(block: BasicBlock, allow_speculation: bool) -> bool:
+    """Reorder the block body to maximise producer→consumer spacing.
+
+    The terminator (if any) stays last; CALL instructions are barriers that
+    partition the block into independently scheduled segments.  Returns
+    whether any instruction moved.
+    """
+    body, terminator = block.body_and_terminator()
+    if len(body) < 3:
+        return False
+
+    segments: list[tuple[int, int]] = []
+    start = 0
+    for index, insn in enumerate(body):
+        if insn.opcode is Opcode.CALL:
+            if index > start:
+                segments.append((start, index))
+            start = index + 1
+    if len(body) > start:
+        segments.append((start, len(body)))
+
+    predecessors = _dependence_edges(block, allow_speculation)
+    new_order: list[int] = []
+    moved = False
+    cursor = 0
+    for seg_start, seg_end in segments:
+        while cursor < seg_start:
+            new_order.append(cursor)
+            cursor += 1
+        order = _schedule_segment(block, predecessors, seg_start, seg_end)
+        if order != list(range(seg_start, seg_end)):
+            moved = True
+        new_order.extend(order)
+        cursor = seg_end
+    while cursor < len(body):
+        new_order.append(cursor)
+        cursor += 1
+
+    if not moved:
+        return False
+    _apply_order(block, new_order, terminator is not None)
+    return True
+
+
+def _schedule_segment(
+    block: BasicBlock,
+    predecessors: list[list[int]],
+    seg_start: int,
+    seg_end: int,
+) -> list[int]:
+    """Stall-aware critical-path list scheduling of one segment.
+
+    At each slot, prefer an instruction whose operands are already available
+    (no stall at the current position), breaking ties by critical-path
+    height then original position; if every ready instruction would stall,
+    take the one available soonest.  This interleaves independent chains,
+    stretching producer→consumer distances — the whole point of scheduling
+    on an in-order pipeline.
+    """
+    instructions = block.instructions
+    indices = range(seg_start, seg_end)
+    successors: dict[int, list[int]] = {index: [] for index in indices}
+    indegree: dict[int, int] = {index: 0 for index in indices}
+    for index in indices:
+        for producer in predecessors[index]:
+            if seg_start <= producer < seg_end:
+                successors[producer].append(index)
+                indegree[index] += 1
+
+    # Critical path (height) of each node, in cycles.
+    height: dict[int, int] = {}
+    for index in reversed(indices):
+        latency = _latency_of(instructions[index])
+        height[index] = latency + max(
+            (height[consumer] for consumer in successors[index]), default=0
+        )
+
+    ready = {index for index in indices if indegree[index] == 0}
+    ready_time: dict[int, int] = {index: 0 for index in ready}
+    order: list[int] = []
+    remaining = dict(indegree)
+    slot = 0
+    while ready:
+        pool = list(ready)
+        # Instructions already available compare equal on effective time, so
+        # the critical path decides among them; otherwise the soonest wins.
+        pool.sort(
+            key=lambda index: (max(ready_time[index], slot), -height[index], index)
+        )
+        chosen = pool[0]
+        ready.remove(chosen)
+        order.append(chosen)
+        finish = slot + _latency_of(instructions[chosen])
+        for consumer in successors[chosen]:
+            ready_time[consumer] = max(ready_time.get(consumer, 0), finish)
+            remaining[consumer] -= 1
+            if remaining[consumer] == 0:
+                ready.add(consumer)
+        slot += 1
+    return order
+
+
+def _apply_order(block: BasicBlock, new_order: list[int], has_terminator: bool) -> None:
+    """Materialise the permutation, rewriting dependence distances."""
+    old_instructions = block.instructions
+    body_len = len(new_order)
+    position_of: dict[int, int] = {
+        old_index: new_index for new_index, old_index in enumerate(new_order)
+    }
+    if has_terminator:
+        terminator_old = len(old_instructions) - 1
+        position_of[terminator_old] = body_len
+        new_order = new_order + [terminator_old]
+
+    reordered = [old_instructions[old_index] for old_index in new_order]
+    for new_index, insn in enumerate(reordered):
+        if not insn.deps:
+            continue
+        old_index = new_order[new_index]
+        new_deps = []
+        for distance, kind in insn.deps:
+            producer = old_index - distance
+            if producer < 0:
+                # Virtual (cross-block) producer keeps its reach before the
+                # block start.
+                new_deps.append((new_index - producer, kind))
+            else:
+                new_position = position_of.get(producer)
+                if new_position is None or new_position >= new_index:
+                    # Should not happen (precedence respected); drop safely.
+                    continue
+                new_deps.append((new_index - new_position, kind))
+        insn.deps = tuple(new_deps)
+    block.instructions = reordered
+
+
+def block_pressure(block: BasicBlock) -> int:
+    """Maximum simultaneous live values implied by the dependence edges.
+
+    Each in-block producer is live from its own position to its last
+    consumer.  ``BASELINE_LIVE`` covers loop-carried values and globals that
+    no in-block edge describes.
+    """
+    last_use: dict[int, int] = {}
+    for index, insn in enumerate(block.instructions):
+        for distance, _ in insn.deps:
+            producer = index - distance
+            if producer >= 0:
+                last_use[producer] = max(last_use.get(producer, producer), index)
+    events: list[tuple[int, int]] = []
+    for producer, last in last_use.items():
+        events.append((producer, +1))
+        events.append((last, -1))
+    events.sort()
+    live = 0
+    peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak + BASELINE_LIVE
+
+
+class ScheduleInsnsPass(Pass):
+    """``-fschedule-insns`` with interblock and speculative sub-flags."""
+
+    name = "schedule"
+
+    def enabled(self, flags: FlagSetting) -> bool:
+        return bool(flags["fschedule_insns"])
+
+    def run(self, program: Program, flags: FlagSetting, stats: PassStats) -> None:
+        interblock = not flags["fno_sched_interblock"]
+        allow_speculation = not flags["fno_sched_spec"]
+        region_cap = (
+            MAX_REGION_INSNS if flags["fexpensive_optimizations"] else MAX_REGION_INSNS // 2
+        )
+        for function in program.functions.values():
+            if interblock:
+                merge_fallthrough_chains(function, stats, region_cap)
+            for block in function.blocks.values():
+                if len(block.instructions) < 3 or block.exec_count <= 0:
+                    continue
+                if list_schedule(block, allow_speculation):
+                    stats["schedule.blocks_scheduled"] += 1

@@ -1,0 +1,130 @@
+"""Training-data reduction by clustering (the paper's §9 future work).
+
+The paper's training cost is M pairs × N settings of compile-and-execute;
+§3.2 and §9 point at clustering [31] to reduce it.  This module implements
+that extension: k-medoids over the pairs' feature vectors selects a
+representative subset of program/microarchitecture pairs, and a model
+trained on the medoids alone is evaluated against the full model.
+
+k-medoids (PAM-style, deterministic seeding) is chosen over k-means because
+medoids *are* training pairs — exactly the thing we want to keep — and
+because it works with any metric, matching the predictor's Euclidean
+distance over normalised features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureNormaliser, feature_vector
+from repro.core.training import TrainingSet
+from repro.sim.counters import PerfCounters
+
+
+@dataclass
+class ClusteringResult:
+    """Selected medoid pairs and the assignment quality."""
+
+    medoid_indices: list[int]  # flat pair indices (p * M + m)
+    assignments: np.ndarray  # pair -> medoid position
+    total_distance: float
+
+    def keep_fraction(self, total_pairs: int) -> float:
+        return len(self.medoid_indices) / total_pairs
+
+
+def pair_feature_matrix(training: TrainingSet) -> np.ndarray:
+    """Normalised feature vectors of every training pair."""
+    raw = []
+    for p in range(len(training.program_names)):
+        for m, machine in enumerate(training.machines):
+            counters = PerfCounters(*training.counters[p, m, :])
+            raw.append(feature_vector(counters, machine, training.extended))
+    matrix = np.array(raw)
+    return FeatureNormaliser.fit(matrix).transform(matrix)
+
+
+def k_medoids(
+    features: np.ndarray, k: int, max_iterations: int = 50
+) -> ClusteringResult:
+    """Deterministic PAM-style k-medoids.
+
+    Seeding is farthest-point (starting from the point closest to the
+    global centroid), which is deterministic and spreads medoids across the
+    feature space; the swap phase then alternates assignment and
+    per-cluster medoid updates until stable.
+    """
+    count = len(features)
+    if not 1 <= k <= count:
+        raise ValueError(f"k={k} out of range for {count} points")
+    distances = np.linalg.norm(
+        features[:, None, :] - features[None, :, :], axis=2
+    )
+
+    centroid = features.mean(axis=0)
+    first = int(np.argmin(np.linalg.norm(features - centroid, axis=1)))
+    medoids = [first]
+    while len(medoids) < k:
+        nearest = distances[:, medoids].min(axis=1)
+        medoids.append(int(np.argmax(nearest)))
+
+    for _ in range(max_iterations):
+        assignments = np.argmin(distances[:, medoids], axis=1)
+        new_medoids = []
+        for position in range(len(medoids)):
+            members = np.nonzero(assignments == position)[0]
+            if len(members) == 0:
+                new_medoids.append(medoids[position])
+                continue
+            within = distances[np.ix_(members, members)].sum(axis=1)
+            new_medoids.append(int(members[int(np.argmin(within))]))
+        if new_medoids == medoids:
+            break
+        medoids = new_medoids
+
+    assignments = np.argmin(distances[:, medoids], axis=1)
+    total = float(
+        distances[np.arange(count), [medoids[a] for a in assignments]].sum()
+    )
+    return ClusteringResult(
+        medoid_indices=medoids, assignments=assignments, total_distance=total
+    )
+
+
+def reduce_training_set(training: TrainingSet, k: int) -> TrainingSet:
+    """A training set containing only the k medoid *pairs*' information.
+
+    Pairs are atomic in the model (one distribution each), but the stored
+    arrays are (program × machine) grids; reduction therefore keeps the
+    programs and machines that appear in any medoid pair and masks nothing
+    else — the common case of clustered reduction keeping a grid-shaped
+    subset.  The returned set's runtime matrix covers
+    ``kept_programs × all settings × kept_machines``.
+    """
+    features = pair_feature_matrix(training)
+    clustering = k_medoids(features, k)
+    M = len(training.machines)
+    kept_programs = sorted({index // M for index in clustering.medoid_indices})
+    kept_machines = sorted({index % M for index in clustering.medoid_indices})
+
+    return TrainingSet(
+        program_names=[training.program_names[p] for p in kept_programs],
+        machines=[training.machines[m] for m in kept_machines],
+        settings=list(training.settings),
+        runtimes=training.runtimes[np.ix_(kept_programs, range(len(training.settings)), kept_machines)],
+        o3_runtimes=training.o3_runtimes[np.ix_(kept_programs, kept_machines)],
+        counters=training.counters[np.ix_(kept_programs, kept_machines, range(training.counters.shape[2]))],
+        extended=training.extended,
+        metadata={**training.metadata, "reduced_to_medoids": k},
+    )
+
+
+def training_cost(training: TrainingSet) -> int:
+    """Compile-and-execute evaluations the set represents (§3.2's cost)."""
+    return (
+        len(training.program_names)
+        * len(training.settings)
+        * len(training.machines)
+    )

@@ -1,0 +1,61 @@
+"""Static code features (the paper's §5.3/§9 future-work extension).
+
+The paper's failure analysis on crc concludes that "the performance
+counters are not sufficiently informative … the addition of extra
+features, in particular code features [9], would enable us to pick this
+up".  This module provides those features: a machine-independent vector
+computed from the program's -O3 binary, capturing exactly the structural
+facts the counters miss — how big the hot loops are, how call-bound the
+program is, how much of its work is memory traffic.
+
+Used through ``OptimisationPredictor(feature_mode="with_code")``; the
+ablation bench compares it against the paper's (c, d) features.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compiler.binary import CompiledBinary
+
+CODE_FEATURE_NAMES: tuple[str, ...] = (
+    "log_code_bytes",
+    "log_hot_bytes",
+    "log_max_loop_span",
+    "log_loop_count",
+    "log_mean_trip",
+    "branch_density",
+    "call_density",
+    "memory_density",
+    "alu_fraction",
+    "mac_fraction",
+    "shift_fraction",
+    "log_branch_sites",
+)
+
+
+def static_code_features(binary: CompiledBinary) -> tuple[float, ...]:
+    """The 12 static features of one compiled binary."""
+    dyn = max(binary.dyn_insns, 1.0)
+    max_span = max((loop.code_bytes for loop in binary.loops), default=1)
+    mean_trip = 1.0
+    if binary.loops:
+        weights = sum(loop.iterations for loop in binary.loops)
+        if weights > 0:
+            mean_trip = sum(
+                loop.trip_count * loop.iterations for loop in binary.loops
+            ) / weights
+    return (
+        math.log2(max(binary.code_bytes, 1)),
+        math.log2(max(binary.hot_code_bytes, 1)),
+        math.log2(max(max_span, 1)),
+        math.log2(len(binary.loops) + 1),
+        math.log2(max(mean_trip, 1.0)),
+        binary.dyn_branches / dyn,
+        binary.dyn_calls / dyn,
+        binary.dyn_memory / dyn,
+        binary.mix["alu"] / dyn,
+        binary.mix["mac"] / dyn,
+        binary.mix["shift"] / dyn,
+        math.log2(binary.branch_sites + 1),
+    )

@@ -1,0 +1,160 @@
+"""The IID multinomial distribution over optimisation passes (§3.3.1).
+
+For one program/microarchitecture pair, the model distribution over flag
+settings factorises per dimension (eq. 4):
+
+    g(y) = ∏_ℓ g(y_ℓ),   g(y_ℓ = s_ℓ^(j)) = θ_ℓ^j
+
+Fitting by minimising the KL divergence to the empirical distribution over
+the "good" settings — the top 5 % of the sampled space — reduces to the
+maximum-likelihood counting estimator of eq. 5: θ_ℓ^j is the fraction of
+good settings in which pass ℓ takes value j.  The mode of the factorised
+distribution (eq. 1) is the per-dimension argmax.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace
+
+
+@dataclass
+class IIDDistribution:
+    """Per-dimension multinomials θ over the flag space."""
+
+    space: FlagSpace
+    theta: list[np.ndarray]  # theta[dim][value_index], each sums to 1
+
+    def __post_init__(self) -> None:
+        if len(self.theta) != len(self.space):
+            raise ValueError("one multinomial per flag dimension required")
+        for spec, probs in zip(self.space.specs, self.theta):
+            if len(probs) != spec.cardinality:
+                raise ValueError(f"{spec.name}: wrong multinomial arity")
+            if abs(float(np.sum(probs)) - 1.0) > 1e-6:
+                raise ValueError(f"{spec.name}: probabilities must sum to 1")
+
+    # ------------------------------------------------------------- fitting
+    @staticmethod
+    def fit(
+        good_settings: Sequence[FlagSetting],
+        space: FlagSpace = DEFAULT_SPACE,
+        smoothing: float = 0.0,
+    ) -> "IIDDistribution":
+        """Maximum-likelihood fit (eq. 5) with optional Laplace smoothing.
+
+        The empirical distribution weights the good settings uniformly, as
+        in the paper (footnote 1).
+        """
+        if not good_settings:
+            raise ValueError("cannot fit a distribution to zero settings")
+        theta: list[np.ndarray] = []
+        for dim, spec in enumerate(space.specs):
+            counts = np.full(spec.cardinality, smoothing, dtype=float)
+            for setting in good_settings:
+                counts[setting.as_indices()[dim]] += 1.0
+            theta.append(counts / counts.sum())
+        return IIDDistribution(space=space, theta=theta)
+
+    # ----------------------------------------------------------- inference
+    def mode(self) -> FlagSetting:
+        """The most probable setting (eq. 1); factorisation makes the joint
+        argmax the per-dimension argmax.  Ties break to the lower index,
+        deterministically."""
+        indices = [int(np.argmax(probs)) for probs in self.theta]
+        return FlagSetting.from_indices(indices)
+
+    def prob(self, setting: FlagSetting) -> float:
+        return math.exp(self.log_prob(setting))
+
+    def log_prob(self, setting: FlagSetting) -> float:
+        total = 0.0
+        for dim_probs, index in zip(self.theta, setting.as_indices()):
+            probability = float(dim_probs[index])
+            if probability <= 0.0:
+                return -math.inf
+            total += math.log(probability)
+        return total
+
+    def sample(self, rng) -> FlagSetting:
+        """Draw one setting from the factorised distribution."""
+        indices = []
+        for probs in self.theta:
+            roll = rng.random()
+            cumulative = 0.0
+            picked = len(probs) - 1
+            for index, probability in enumerate(probs):
+                cumulative += probability
+                if roll < cumulative:
+                    picked = index
+                    break
+            indices.append(picked)
+        return FlagSetting.from_indices(indices)
+
+    def marginal(self, flag_name: str) -> np.ndarray:
+        dim = self.space.names.index(flag_name)
+        return self.theta[dim].copy()
+
+    # ------------------------------------------------------------- algebra
+    @staticmethod
+    def mix(
+        distributions: Sequence["IIDDistribution"], weights: Sequence[float]
+    ) -> "IIDDistribution":
+        """Convex combination (the KNN predictive distribution of eq. 6)."""
+        if len(distributions) != len(weights) or not distributions:
+            raise ValueError("need matching, non-empty distributions/weights")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        space = distributions[0].space
+        mixed: list[np.ndarray] = []
+        for dim in range(len(space)):
+            acc = np.zeros_like(distributions[0].theta[dim])
+            for distribution, weight in zip(distributions, weights):
+                acc += (weight / total) * distribution.theta[dim]
+            mixed.append(acc)
+        return IIDDistribution(space=space, theta=mixed)
+
+    def cross_entropy(self, settings: Sequence[FlagSetting]) -> float:
+        """H(p̃, g) against a uniform empirical distribution over
+        ``settings`` (eq. 3's objective, negated)."""
+        if not settings:
+            raise ValueError("empty empirical set")
+        return -sum(self.log_prob(setting) for setting in settings) / len(settings)
+
+    def kl_from_empirical(self, settings: Sequence[FlagSetting]) -> float:
+        """KL(p̃ ‖ g) up to the constant entropy of p̃ (eq. 2): reported as
+        cross-entropy minus the empirical entropy over distinct settings."""
+        distinct: dict[FlagSetting, int] = {}
+        for setting in settings:
+            distinct[setting] = distinct.get(setting, 0) + 1
+        total = len(settings)
+        empirical_entropy = -sum(
+            (count / total) * math.log(count / total)
+            for count in distinct.values()
+        )
+        return self.cross_entropy(settings) - empirical_entropy
+
+
+def good_settings_by_runtime(
+    settings: Sequence[FlagSetting],
+    runtimes: np.ndarray,
+    quantile: float = 0.05,
+) -> list[FlagSetting]:
+    """The paper's e-Y: settings within the top ``quantile`` by speed.
+
+    ``runtimes[i]`` is the runtime of ``settings[i]``; lower is better.  At
+    least one setting is always returned.
+    """
+    if len(settings) != len(runtimes):
+        raise ValueError("settings/runtimes length mismatch")
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile out of (0, 1]: {quantile}")
+    keep = max(1, int(round(len(settings) * quantile)))
+    order = np.argsort(runtimes, kind="stable")
+    return [settings[index] for index in order[:keep]]

@@ -1,0 +1,140 @@
+"""Mutual-information analyses behind the paper's Hinton diagrams.
+
+* Figure 8: for each program, the normalised MI between each optimisation
+  dimension's value and the (quartile-binned) speedup across all sampled
+  settings and machines — "which passes matter for this program".
+* Figure 9: across all pairs, the normalised MI between each feature
+  (quartile-binned) and each optimisation's best value — "which features
+  predict whether to apply the pass".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from math import log
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.flags import DEFAULT_SPACE
+from repro.core.features import feature_names, feature_vector
+from repro.core.training import TrainingSet
+from repro.machine.params import MicroArch
+from repro.sim.counters import PerfCounters
+
+
+def entropy(labels: Sequence) -> float:
+    """Shannon entropy (nats) of a discrete sample."""
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    return -sum(
+        (count / total) * log(count / total)
+        for count in Counter(labels).values()
+    )
+
+
+def mutual_information(xs: Sequence, ys: Sequence) -> float:
+    """MI (nats) between two paired discrete samples."""
+    if len(xs) != len(ys):
+        raise ValueError("paired samples required")
+    total = len(xs)
+    if total == 0:
+        return 0.0
+    joint = Counter(zip(xs, ys))
+    margin_x = Counter(xs)
+    margin_y = Counter(ys)
+    mi = 0.0
+    for (x, y), count in joint.items():
+        p_xy = count / total
+        p_x = margin_x[x] / total
+        p_y = margin_y[y] / total
+        mi += p_xy * log(p_xy / (p_x * p_y))
+    return max(mi, 0.0)
+
+
+def normalised_mutual_information(xs: Sequence, ys: Sequence) -> float:
+    """MI normalised by sqrt(H(x)·H(y)); 0 when either is constant."""
+    h_x = entropy(xs)
+    h_y = entropy(ys)
+    if h_x < 1e-12 or h_y < 1e-12:
+        return 0.0
+    return mutual_information(xs, ys) / (h_x * h_y) ** 0.5
+
+
+def quartile_bins(values: np.ndarray) -> np.ndarray:
+    """Assign each value to one of four quantile bins."""
+    quartiles = np.quantile(values, [0.25, 0.5, 0.75])
+    return np.digitize(values, quartiles)
+
+
+def flag_speedup_mi(training: TrainingSet) -> np.ndarray:
+    """Figure 8's matrix: rows = flag dimensions, columns = programs.
+
+    Entry [ℓ, p] is the normalised MI between optimisation ℓ's value and
+    the quartile-binned speedup over (setting, machine) samples of
+    program p.
+    """
+    space = DEFAULT_SPACE
+    speedups = training.speedups()  # [P, S, M]
+    setting_indices = np.array(
+        [setting.as_indices() for setting in training.settings]
+    )  # [S, L]
+    P, S, M = speedups.shape
+    matrix = np.zeros((len(space), P))
+    for p in range(P):
+        flat_speedups = speedups[p].reshape(S * M)
+        bins = quartile_bins(flat_speedups)
+        for dim in range(len(space)):
+            values = np.repeat(setting_indices[:, dim], M)
+            matrix[dim, p] = normalised_mutual_information(
+                values.tolist(), bins.tolist()
+            )
+    return matrix
+
+
+def feature_best_flag_mi(
+    training: TrainingSet, quantile: float = 0.05
+) -> np.ndarray:
+    """Figure 9's matrix: rows = flag dimensions, columns = features.
+
+    Entry [ℓ, f] is the normalised MI between feature f (quartile-binned
+    across pairs) and the mode of optimisation ℓ under each pair's
+    good-settings distribution.
+    """
+    space = DEFAULT_SPACE
+    P = len(training.program_names)
+    M = len(training.machines)
+
+    pair_features = []
+    best_values = []  # [pair][dim]
+    for p in range(P):
+        for m, machine in enumerate(training.machines):
+            counters = PerfCounters(*training.counters[p, m, :])
+            pair_features.append(
+                feature_vector(counters, machine, training.extended)
+            )
+            distribution = training.pair_distribution(p, m, quantile)
+            best_values.append(distribution.mode().as_indices())
+    features = np.array(pair_features)  # [P*M, F]
+    best = np.array(best_values)  # [P*M, L]
+
+    n_features = features.shape[1]
+    matrix = np.zeros((len(space), n_features))
+    for f in range(n_features):
+        bins = quartile_bins(features[:, f]).tolist()
+        for dim in range(len(space)):
+            matrix[dim, f] = normalised_mutual_information(
+                best[:, dim].tolist(), bins
+            )
+    return matrix
+
+
+def hinton_rows(training: TrainingSet) -> list[str]:
+    """Row labels shared by both diagrams (Figure 8/9 y-axis)."""
+    return list(DEFAULT_SPACE.names)
+
+
+def hinton_feature_columns(training: TrainingSet) -> list[str]:
+    """Column labels of Figure 9 (descriptors then counters)."""
+    return list(feature_names(training.extended))

@@ -1,0 +1,209 @@
+"""The predictive distribution across programs and microarchitectures
+(§3.3.2) and its deployment interface (§3.4).
+
+Training memorises one IID distribution g(y|X) per training pair together
+with the pair's feature vector x = (c, d).  Prediction for an unseen pair
+forms q(y|x*) as the softmax-weighted convex combination of the K = 7
+nearest training distributions (eq. 6, β = 1, Euclidean distance over
+z-normalised features) and returns its mode (eq. 1).
+
+Leave-one-out evaluation excludes every training pair sharing the test
+pair's program *or* machine at query time (§5.1.1), so the model never
+consults data from the program or microarchitecture it is predicting for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace
+from repro.core.distribution import IIDDistribution
+from repro.core.features import FeatureNormaliser, feature_mask, feature_vector
+from repro.core.training import TrainingSet
+from repro.machine.params import MicroArch
+from repro.sim.counters import PerfCounters
+
+#: The paper's hyper-parameters (§3.3.2): K = 7 neighbours, β = 1, and the
+#: top-5 % definition of "good" settings (footnote 1).
+DEFAULT_K = 7
+DEFAULT_BETA = 1.0
+DEFAULT_QUANTILE = 0.05
+
+
+@dataclass
+class _TrainingPair:
+    program: str
+    machine: MicroArch
+    features: np.ndarray  # normalised, masked
+    distribution: IIDDistribution
+
+
+class OptimisationPredictor:
+    """The portable optimising compiler's model (Figure 2's centre box)."""
+
+    def __init__(
+        self,
+        space: FlagSpace = DEFAULT_SPACE,
+        k: int = DEFAULT_K,
+        beta: float = DEFAULT_BETA,
+        quantile: float = DEFAULT_QUANTILE,
+        extended: bool = False,
+        feature_mode: str = "both",
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1: {k}")
+        self.space = space
+        self.k = k
+        self.beta = beta
+        self.quantile = quantile
+        self.extended = extended
+        self.feature_mode = feature_mode
+        self._pairs: list[_TrainingPair] = []
+        self._normaliser: FeatureNormaliser | None = None
+        self._mask: np.ndarray | None = None
+
+    # -------------------------------------------------------------- training
+    def fit(self, training: TrainingSet) -> "OptimisationPredictor":
+        """Fit per-pair distributions and memorise features (§3.3)."""
+        self.extended = training.extended
+        if self.feature_mode == "with_code":
+            if training.code_features is None:
+                raise ValueError(
+                    "feature_mode='with_code' needs training code features"
+                )
+            base = feature_mask("both", self.extended)
+            self._mask = np.concatenate(
+                [base, np.ones(training.code_features.shape[1], dtype=bool)]
+            )
+        else:
+            self._mask = feature_mask(self.feature_mode, self.extended)
+
+        raw_features = []
+        for p, _ in enumerate(training.program_names):
+            for m, machine in enumerate(training.machines):
+                counters = PerfCounters(*training.counters[p, m, :])
+                vector = feature_vector(counters, machine, self.extended)
+                if self.feature_mode == "with_code":
+                    vector = np.concatenate(
+                        [vector, training.code_features[p, :]]
+                    )
+                raw_features.append(vector)
+        matrix = np.array(raw_features)
+        self._normaliser = FeatureNormaliser.fit(matrix)
+        normalised = self._normaliser.transform(matrix)
+
+        self._pairs = []
+        row = 0
+        for p, name in enumerate(training.program_names):
+            for m, machine in enumerate(training.machines):
+                distribution = training.pair_distribution(p, m, self.quantile)
+                self._pairs.append(
+                    _TrainingPair(
+                        program=name,
+                        machine=machine,
+                        features=normalised[row][self._mask],
+                        distribution=distribution,
+                    )
+                )
+                row += 1
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._pairs)
+
+    def _query_vector(
+        self,
+        counters: PerfCounters,
+        machine: MicroArch,
+        code_features,
+    ) -> np.ndarray:
+        vector = feature_vector(counters, machine, self.extended)
+        if self.feature_mode == "with_code":
+            if code_features is None:
+                raise ValueError(
+                    "feature_mode='with_code' needs the test program's code "
+                    "features (from its -O3 binary)"
+                )
+            vector = np.concatenate([vector, np.asarray(code_features, float)])
+        return self._normaliser.transform_one(vector)[self._mask]
+
+    # ------------------------------------------------------------ prediction
+    def predict_distribution(
+        self,
+        counters: PerfCounters,
+        machine: MicroArch,
+        exclude_program: str | None = None,
+        exclude_machine: MicroArch | None = None,
+        code_features=None,
+    ) -> IIDDistribution:
+        """q(y|x*): the weighted mixture of the K nearest pairs (eq. 6)."""
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted")
+        query = self._query_vector(counters, machine, code_features)
+
+        candidates = [
+            pair
+            for pair in self._pairs
+            if (exclude_program is None or pair.program != exclude_program)
+            and (exclude_machine is None or pair.machine != exclude_machine)
+        ]
+        if not candidates:
+            raise RuntimeError("no training pairs left after exclusions")
+
+        distances = np.array(
+            [float(np.linalg.norm(pair.features - query)) for pair in candidates]
+        )
+        order = np.argsort(distances, kind="stable")[: self.k]
+        nearest = [candidates[int(index)] for index in order]
+        nearest_distances = distances[order]
+
+        # eq. 6: w_k = exp(-β d_k) / Σ exp(-β d_j), computed stably.
+        logits = -self.beta * (nearest_distances - nearest_distances.min())
+        weights = np.exp(logits)
+        weights /= weights.sum()
+
+        return IIDDistribution.mix(
+            [pair.distribution for pair in nearest], list(weights)
+        )
+
+    def predict(
+        self,
+        counters: PerfCounters,
+        machine: MicroArch,
+        exclude_program: str | None = None,
+        exclude_machine: MicroArch | None = None,
+        code_features=None,
+    ) -> FlagSetting:
+        """y* = argmax_y q(y|x*) (eq. 1)."""
+        distribution = self.predict_distribution(
+            counters, machine, exclude_program, exclude_machine, code_features
+        )
+        return distribution.mode()
+
+    def neighbours(
+        self,
+        counters: PerfCounters,
+        machine: MicroArch,
+        exclude_program: str | None = None,
+        exclude_machine: MicroArch | None = None,
+        code_features=None,
+    ) -> list[tuple[str, MicroArch, float]]:
+        """The K nearest training pairs and distances (for analysis)."""
+        query = self._query_vector(counters, machine, code_features)
+        candidates = [
+            pair
+            for pair in self._pairs
+            if (exclude_program is None or pair.program != exclude_program)
+            and (exclude_machine is None or pair.machine != exclude_machine)
+        ]
+        distances = np.array(
+            [float(np.linalg.norm(pair.features - query)) for pair in candidates]
+        )
+        order = np.argsort(distances, kind="stable")[: self.k]
+        return [
+            (candidates[int(i)].program, candidates[int(i)].machine, float(distances[int(i)]))
+            for i in order
+        ]

@@ -1,0 +1,237 @@
+"""Ablations of the model's design choices (DESIGN.md §5).
+
+The paper fixes K = 7, β = 1, a top-5 % good-set, the (c, d) feature pair
+and a *factorised* (IID) distribution, asserting insensitivity or arguing
+simplicity.  Each ablation here re-runs leave-one-out cross-validation with
+one choice varied, so those assertions are measured rather than assumed:
+
+* :func:`knn_k_sweep` — neighbourhood size (paper: "not sensitive");
+* :func:`quantile_sweep` — the "good settings" threshold;
+* :func:`feature_mode_sweep` — counters only vs descriptors only vs both
+  (the §5.3 crc analysis predicts counters alone are not enough);
+* :func:`iid_vs_joint` — the paper's IID mode against a dependence-aware
+  variant that votes over *concrete* good settings of the K neighbours,
+  preserving inter-flag correlations the factorisation discards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.flags import FlagSetting
+from repro.core.crossval import CrossValResult, leave_one_out
+from repro.core.features import FeatureNormaliser, feature_vector
+from repro.core.predictor import (
+    DEFAULT_BETA,
+    DEFAULT_K,
+    DEFAULT_QUANTILE,
+    OptimisationPredictor,
+)
+from repro.core.training import TrainingSet
+from repro.experiments.dataset import ExperimentData
+from repro.machine.params import MicroArch
+from repro.sim.counters import PerfCounters
+
+
+@dataclass
+class AblationRow:
+    label: str
+    mean_speedup: float
+    fraction_of_best: float
+    correlation: float
+
+
+@dataclass
+class AblationResult:
+    title: str
+    rows: list[AblationRow]
+
+    def render(self) -> str:
+        lines = [
+            self.title,
+            f"{'variant':22s} {'mean speedup':>12s} {'frac of best':>12s} "
+            f"{'correlation':>11s}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.label:22s} {row.mean_speedup:12.3f} "
+                f"{row.fraction_of_best:12.2%} {row.correlation:11.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _evaluate(data: ExperimentData, predictor) -> AblationRow:
+    result = leave_one_out(
+        data.training, data.programs, compiler=data.compiler, predictor=predictor
+    )
+    return AblationRow(
+        label="",
+        mean_speedup=result.mean_speedup(),
+        fraction_of_best=result.fraction_of_best(),
+        correlation=result.correlation_with_best(),
+    )
+
+
+def knn_k_sweep(
+    data: ExperimentData, ks: tuple[int, ...] = (1, 3, 5, 7, 11, 15)
+) -> AblationResult:
+    """§3.3.2 claims the technique is not sensitive to K around 7."""
+    rows = []
+    for k in ks:
+        row = _evaluate(
+            data, OptimisationPredictor(k=k, extended=data.scale.extended)
+        )
+        row.label = f"K = {k}" + ("  (paper)" if k == DEFAULT_K else "")
+        rows.append(row)
+    return AblationResult(title="Ablation: KNN neighbourhood size", rows=rows)
+
+
+def beta_sweep(
+    data: ExperimentData, betas: tuple[float, ...] = (0.25, 1.0, 4.0, 16.0)
+) -> AblationResult:
+    """§3.3.2 sets β = 1 in the softmax weighting (eq. 6); large β collapses
+    the mixture onto the single nearest pair, small β flattens it towards a
+    plain K-average."""
+    rows = []
+    for beta in betas:
+        row = _evaluate(
+            data, OptimisationPredictor(beta=beta, extended=data.scale.extended)
+        )
+        row.label = f"beta = {beta:g}" + (
+            "  (paper)" if beta == DEFAULT_BETA else ""
+        )
+        rows.append(row)
+    return AblationResult(title="Ablation: softmax sharpness beta", rows=rows)
+
+
+def quantile_sweep(
+    data: ExperimentData,
+    quantiles: tuple[float, ...] = (0.01, 0.05, 0.10, 0.25),
+) -> AblationResult:
+    """Footnote 1's top-5 % definition of the good set."""
+    rows = []
+    for quantile in quantiles:
+        row = _evaluate(
+            data,
+            OptimisationPredictor(quantile=quantile, extended=data.scale.extended),
+        )
+        row.label = f"top {quantile:.0%}" + (
+            "  (paper)" if quantile == DEFAULT_QUANTILE else ""
+        )
+        rows.append(row)
+    return AblationResult(title="Ablation: good-settings quantile", rows=rows)
+
+
+def feature_mode_sweep(data: ExperimentData) -> AblationResult:
+    """x = (c, d) against counters-only, descriptors-only, and the §9
+    extension adding static code features (the crc fix)."""
+    modes = ["both", "counters", "descriptors"]
+    if data.training.code_features is not None:
+        modes.append("with_code")
+    rows = []
+    for mode in modes:
+        row = _evaluate(
+            data,
+            OptimisationPredictor(feature_mode=mode, extended=data.scale.extended),
+        )
+        suffix = "  (paper)" if mode == "both" else ""
+        suffix = "  (§9 extension)" if mode == "with_code" else suffix
+        row.label = mode + suffix
+        rows.append(row)
+    return AblationResult(title="Ablation: feature sources", rows=rows)
+
+
+class JointVotePredictor:
+    """Dependence-aware alternative to the factorised IID mode.
+
+    Prediction collects the *concrete* good settings of the K nearest
+    training pairs and returns the one with the highest total neighbour
+    weight — a mode over observed joint settings, so inter-flag
+    correlations are preserved at the cost of never synthesising an unseen
+    combination (which the IID mode does).
+    """
+
+    def __init__(
+        self,
+        k: int = DEFAULT_K,
+        beta: float = DEFAULT_BETA,
+        quantile: float = DEFAULT_QUANTILE,
+        extended: bool = False,
+    ):
+        self.k = k
+        self.beta = beta
+        self.quantile = quantile
+        self.extended = extended
+        self._features: np.ndarray | None = None
+        self._pairs: list[tuple[str, MicroArch, list[FlagSetting]]] = []
+        self._normaliser: FeatureNormaliser | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._features is not None
+
+    def fit(self, training: TrainingSet) -> "JointVotePredictor":
+        self.extended = training.extended
+        raw = []
+        self._pairs = []
+        for p, name in enumerate(training.program_names):
+            for m, machine in enumerate(training.machines):
+                counters = PerfCounters(*training.counters[p, m, :])
+                raw.append(feature_vector(counters, machine, self.extended))
+                self._pairs.append(
+                    (name, machine, training.good_settings(p, m, self.quantile))
+                )
+        matrix = np.array(raw)
+        self._normaliser = FeatureNormaliser.fit(matrix)
+        self._features = self._normaliser.transform(matrix)
+        return self
+
+    def predict(
+        self,
+        counters: PerfCounters,
+        machine: MicroArch,
+        exclude_program: str | None = None,
+        exclude_machine: MicroArch | None = None,
+        code_features=None,
+    ) -> FlagSetting:
+        del code_features  # the joint-vote variant uses (c, d) only
+        query = self._normaliser.transform_one(
+            feature_vector(counters, machine, self.extended)
+        )
+        keep = [
+            index
+            for index, (name, mach, _) in enumerate(self._pairs)
+            if (exclude_program is None or name != exclude_program)
+            and (exclude_machine is None or mach != exclude_machine)
+        ]
+        distances = np.linalg.norm(self._features[keep] - query, axis=1)
+        order = np.argsort(distances, kind="stable")[: self.k]
+        logits = -self.beta * (distances[order] - distances[order].min())
+        weights = np.exp(logits)
+        weights /= weights.sum()
+
+        votes: dict[FlagSetting, float] = {}
+        for weight, position in zip(weights, order):
+            _, _, good = self._pairs[keep[int(position)]]
+            for setting in good:
+                votes[setting] = votes.get(setting, 0.0) + weight / len(good)
+        # Deterministic tie-break via the settings' index encoding.
+        return max(votes.items(), key=lambda item: (item[1], item[0].as_indices()))[0]
+
+
+def iid_vs_joint(data: ExperimentData) -> AblationResult:
+    """The paper's factorised model vs the joint-vote variant."""
+    iid_row = _evaluate(
+        data, OptimisationPredictor(extended=data.scale.extended)
+    )
+    iid_row.label = "IID mode  (paper)"
+    joint_row = _evaluate(
+        data, JointVotePredictor(extended=data.scale.extended)
+    )
+    joint_row.label = "joint vote"
+    return AblationResult(
+        title="Ablation: factorised (IID) vs dependence-aware prediction",
+        rows=[iid_row, joint_row],
+    )

@@ -1,0 +1,107 @@
+"""Experiment scales.
+
+The paper's protocol (§4) is 35 programs × 200 microarchitectures × 1000
+flag settings — 7 million simulations.  That runs in hours here, not weeks,
+but the benches and tests need smaller presets; every scale is an explicit,
+seeded, reproducible configuration, and all experiments accept any of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+from repro.programs.mibench import MIBENCH_ORDER, mibench_spec
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One fully-specified experiment size."""
+
+    name: str
+    programs: tuple[str, ...]
+    n_machines: int
+    n_settings: int
+    machine_seed: int = 42
+    setting_seed: int = 7
+    extended: bool = False
+
+    def __post_init__(self) -> None:
+        unknown = set(self.programs) - set(MIBENCH_ORDER)
+        if unknown:
+            raise ValueError(f"unknown programs: {sorted(unknown)}")
+        if self.n_machines < 2 or self.n_settings < 2:
+            raise ValueError("need at least 2 machines and 2 settings")
+
+    def with_extended(self) -> "Scale":
+        """The §7 variant of this scale (adds frequency & issue width)."""
+        return replace(self, name=f"{self.name}-ext", extended=True)
+
+    def fingerprint(self) -> str:
+        """Cache key covering the scale *and* the program specs, so spec
+        retuning invalidates stale datasets."""
+        digest = hashlib.sha256()
+        digest.update(repr(self).encode())
+        for name in self.programs:
+            digest.update(repr(mibench_spec(name)).encode())
+        return digest.hexdigest()[:16]
+
+
+#: The paper's full protocol (§4.1-4.3).
+PAPER = Scale(
+    name="paper",
+    programs=MIBENCH_ORDER,
+    n_machines=200,
+    n_settings=1000,
+)
+
+#: Default for benches: all programs, reduced sampling — minutes, not hours.
+DEFAULT = Scale(
+    name="default",
+    programs=MIBENCH_ORDER,
+    n_machines=24,
+    n_settings=120,
+)
+
+#: Quick look: a representative programme subset.
+QUICK = Scale(
+    name="quick",
+    programs=(
+        "qsort",
+        "rawcaudio",
+        "djpeg",
+        "ispell",
+        "bf_e",
+        "tiffdither",
+        "madplay",
+        "sha",
+        "bitcnts",
+        "rijndael_e",
+        "crc",
+        "search",
+    ),
+    n_machines=10,
+    n_settings=60,
+)
+
+#: Unit-test scale: small enough for CI, big enough to be non-degenerate.
+TINY = Scale(
+    name="tiny",
+    programs=("qsort", "tiffdither", "sha", "rijndael_e", "search", "crc"),
+    n_machines=6,
+    n_settings=32,
+)
+
+PRESETS: dict[str, Scale] = {
+    scale.name: scale for scale in (PAPER, DEFAULT, QUICK, TINY)
+}
+
+
+def preset(name: str) -> Scale:
+    """Look up a named preset scale."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

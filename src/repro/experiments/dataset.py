@@ -1,0 +1,139 @@
+"""Experiment-data generation with on-disk caching.
+
+Building a training matrix is the expensive step of every experiment, so it
+is computed once per (scale, program-spec fingerprint) and memoised both in
+process and on disk as an ``.npz`` plus JSON sidecar under
+``$REPRO_CACHE_DIR`` (default ``<cwd>/.repro-cache``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.compiler.flags import FlagSetting
+from repro.compiler.ir import Program
+from repro.compiler.pipeline import Compiler
+from repro.core.training import TrainingSet, generate_training_set
+from repro.experiments.config import Scale
+from repro.machine.params import MicroArch, MicroArchSpace
+from repro.programs.mibench import mibench_program
+
+
+@dataclass
+class ExperimentData:
+    """Everything the per-figure experiments consume."""
+
+    scale: Scale
+    programs: list[Program]
+    machines: list[MicroArch]
+    training: TrainingSet
+    compiler: Compiler
+
+
+_MEMORY_CACHE: dict[str, ExperimentData] = {}
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+def _machines_for(scale: Scale) -> list[MicroArch]:
+    space = MicroArchSpace(extended=scale.extended)
+    return space.sample(scale.n_machines, seed=scale.machine_seed)
+
+
+def _save(path: Path, training: TrainingSet) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = dict(
+        runtimes=training.runtimes,
+        o3_runtimes=training.o3_runtimes,
+        counters=training.counters,
+    )
+    if training.code_features is not None:
+        arrays["code_features"] = training.code_features
+    np.savez_compressed(path.with_suffix(".npz"), **arrays)
+    sidecar = {
+        "program_names": training.program_names,
+        "machines": [dataclasses.asdict(machine) for machine in training.machines],
+        "settings": [list(setting.as_indices()) for setting in training.settings],
+        "extended": training.extended,
+        "metadata": training.metadata,
+    }
+    path.with_suffix(".json").write_text(json.dumps(sidecar))
+
+
+def _load(path: Path) -> TrainingSet | None:
+    npz_path = path.with_suffix(".npz")
+    json_path = path.with_suffix(".json")
+    if not npz_path.exists() or not json_path.exists():
+        return None
+    sidecar = json.loads(json_path.read_text())
+    arrays = np.load(npz_path)
+    return TrainingSet(
+        program_names=list(sidecar["program_names"]),
+        machines=[MicroArch(**fields) for fields in sidecar["machines"]],
+        settings=[
+            FlagSetting.from_indices(indices) for indices in sidecar["settings"]
+        ],
+        runtimes=arrays["runtimes"],
+        o3_runtimes=arrays["o3_runtimes"],
+        counters=arrays["counters"],
+        extended=bool(sidecar["extended"]),
+        metadata=dict(sidecar["metadata"]),
+        code_features=(
+            arrays["code_features"] if "code_features" in arrays else None
+        ),
+    )
+
+
+def load_or_build(
+    scale: Scale,
+    progress: Callable[[str], None] | None = None,
+    use_disk_cache: bool = True,
+) -> ExperimentData:
+    """Return the experiment data for ``scale``, building it if needed."""
+    key = scale.fingerprint()
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+
+    programs = [mibench_program(name) for name in scale.programs]
+    machines = _machines_for(scale)
+    compiler = Compiler()
+
+    training = None
+    path = cache_dir() / f"training-{scale.name}-{key}"
+    if use_disk_cache:
+        training = _load(path)
+    if training is None:
+        training = generate_training_set(
+            programs,
+            machines,
+            n_settings=scale.n_settings,
+            seed=scale.setting_seed,
+            extended=scale.extended,
+            compiler=compiler,
+            progress=progress,
+        )
+        if use_disk_cache:
+            _save(path, training)
+
+    data = ExperimentData(
+        scale=scale,
+        programs=programs,
+        machines=training.machines,
+        training=training,
+        compiler=compiler,
+    )
+    _MEMORY_CACHE[key] = data
+    return data
+
+
+def clear_memory_cache() -> None:
+    _MEMORY_CACHE.clear()

@@ -1,0 +1,45 @@
+"""The microarchitecture design space (paper Table 2 and §7's extension)."""
+
+from repro.machine.cacti import (
+    CacheTiming,
+    access_time_ns,
+    cache_timing,
+    dcache_timing,
+    icache_timing,
+    load_use_latency,
+    read_energy_nj,
+)
+from repro.machine.params import (
+    BASE_GRID,
+    DESCRIPTOR_NAMES,
+    EXTENDED_DESCRIPTOR_NAMES,
+    EXTENDED_GRID,
+    MicroArch,
+    MicroArchSpace,
+    descriptor_matrix,
+)
+from repro.machine.xscale import (
+    xscale,
+    xscale_small_both_caches,
+    xscale_small_icache,
+)
+
+__all__ = [
+    "BASE_GRID",
+    "CacheTiming",
+    "DESCRIPTOR_NAMES",
+    "EXTENDED_DESCRIPTOR_NAMES",
+    "EXTENDED_GRID",
+    "MicroArch",
+    "MicroArchSpace",
+    "access_time_ns",
+    "cache_timing",
+    "dcache_timing",
+    "descriptor_matrix",
+    "icache_timing",
+    "load_use_latency",
+    "read_energy_nj",
+    "xscale",
+    "xscale_small_both_caches",
+    "xscale_small_icache",
+]

@@ -1,0 +1,214 @@
+"""The microarchitecture design space of the paper's Table 2.
+
+Eight parameters, each a power of two, giving exactly 288,000 base
+configurations:
+
+====================  =====================  ==========
+parameter             values                 XScale
+====================  =====================  ==========
+IL1 size              4K … 128K   (6)        32K
+IL1 associativity     4 … 64      (5)        32
+IL1 block             8 … 64      (4)        32
+DL1 size              4K … 128K   (6)        32K
+DL1 associativity     4 … 64      (5)        32
+DL1 block             8 … 64      (4)        32
+BTB entries           128 … 2048  (5)        512
+BTB associativity     1 … 8       (4)        1
+====================  =====================  ==========
+
+Section 7's extended space adds core frequency (200–600 MHz; XScale 400)
+and issue width (1 or 2; XScale 1), multiplying the space by 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+
+def _powers(start: int, stop: int) -> tuple[int, ...]:
+    values = []
+    value = start
+    while value <= stop:
+        values.append(value)
+        value *= 2
+    return tuple(values)
+
+
+#: Table 2 parameter grid (base space).
+BASE_GRID: dict[str, tuple[int, ...]] = {
+    "il1_size": _powers(4 * 1024, 128 * 1024),
+    "il1_assoc": _powers(4, 64),
+    "il1_block": _powers(8, 64),
+    "dl1_size": _powers(4 * 1024, 128 * 1024),
+    "dl1_assoc": _powers(4, 64),
+    "dl1_block": _powers(8, 64),
+    "btb_entries": _powers(128, 2048),
+    "btb_assoc": _powers(1, 8),
+}
+
+#: Section 7 extension grid.
+EXTENDED_GRID: dict[str, tuple[int, ...]] = {
+    "frequency_mhz": (200, 300, 400, 500, 600),
+    "issue_width": (1, 2),
+}
+
+#: Descriptor ordering follows the paper's Figure 9 x-axis.
+DESCRIPTOR_NAMES: tuple[str, ...] = (
+    "btb_size",
+    "btb_assoc",
+    "i_size",
+    "i_assoc",
+    "i_block",
+    "d_size",
+    "d_assoc",
+    "d_block",
+)
+
+EXTENDED_DESCRIPTOR_NAMES: tuple[str, ...] = DESCRIPTOR_NAMES + (
+    "frequency",
+    "issue_width",
+)
+
+
+@dataclass(frozen=True)
+class MicroArch:
+    """One microarchitectural configuration (an XScale variant)."""
+
+    il1_size: int
+    il1_assoc: int
+    il1_block: int
+    dl1_size: int
+    dl1_assoc: int
+    dl1_block: int
+    btb_entries: int
+    btb_assoc: int
+    frequency_mhz: int = 400
+    issue_width: int = 1
+
+    def __post_init__(self) -> None:
+        for name, grid in BASE_GRID.items():
+            if getattr(self, name) not in grid:
+                raise ValueError(f"{name}={getattr(self, name)} outside Table 2 grid")
+        if self.frequency_mhz not in EXTENDED_GRID["frequency_mhz"]:
+            raise ValueError(f"frequency {self.frequency_mhz} MHz not in grid")
+        if self.issue_width not in EXTENDED_GRID["issue_width"]:
+            raise ValueError(f"issue width {self.issue_width} not in grid")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.frequency_mhz
+
+    @property
+    def il1_sets(self) -> int:
+        return max(self.il1_size // (self.il1_assoc * self.il1_block), 1)
+
+    @property
+    def dl1_sets(self) -> int:
+        return max(self.dl1_size // (self.dl1_assoc * self.dl1_block), 1)
+
+    @property
+    def btb_sets(self) -> int:
+        return max(self.btb_entries // self.btb_assoc, 1)
+
+    def descriptor(self, extended: bool = False) -> tuple[float, ...]:
+        """The paper's microarchitecture feature vector ``d``.
+
+        Values are log2-scaled so that the Euclidean metric of the KNN
+        combiner treats each doubling step of Table 2 equally.
+        """
+        base = (
+            math.log2(self.btb_entries),
+            math.log2(self.btb_assoc),
+            math.log2(self.il1_size),
+            math.log2(self.il1_assoc),
+            math.log2(self.il1_block),
+            math.log2(self.dl1_size),
+            math.log2(self.dl1_assoc),
+            math.log2(self.dl1_block),
+        )
+        if not extended:
+            return base
+        return base + (
+            math.log2(self.frequency_mhz / 100.0),
+            float(self.issue_width),
+        )
+
+    def label(self) -> str:
+        """Compact identifier, e.g. ``i32K.32.32_d32K.32.32_b512.1_400x1``."""
+
+        def kb(value: int) -> str:
+            return f"{value // 1024}K"
+
+        return (
+            f"i{kb(self.il1_size)}.{self.il1_assoc}.{self.il1_block}"
+            f"_d{kb(self.dl1_size)}.{self.dl1_assoc}.{self.dl1_block}"
+            f"_b{self.btb_entries}.{self.btb_assoc}"
+            f"_{self.frequency_mhz}x{self.issue_width}"
+        )
+
+
+class MicroArchSpace:
+    """The enumerable design space, base or extended."""
+
+    def __init__(self, extended: bool = False):
+        self.extended = extended
+        self._grid = dict(BASE_GRID)
+        if extended:
+            self._grid.update(EXTENDED_GRID)
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(self._grid)
+
+    @property
+    def descriptor_names(self) -> tuple[str, ...]:
+        return EXTENDED_DESCRIPTOR_NAMES if self.extended else DESCRIPTOR_NAMES
+
+    def grid(self, name: str) -> tuple[int, ...]:
+        return self._grid[name]
+
+    def size(self) -> int:
+        """Total number of configurations (288,000 base; 2,880,000 ext.)."""
+        total = 1
+        for values in self._grid.values():
+            total *= len(values)
+        return total
+
+    def enumerate(self) -> Iterator[MicroArch]:
+        """Yield every configuration (use only for small sub-spaces/tests)."""
+        names = list(self._grid)
+        for combo in itertools.product(*(self._grid[name] for name in names)):
+            yield MicroArch(**dict(zip(names, combo)))
+
+    def sample(self, count: int, seed: int) -> list[MicroArch]:
+        """Uniform random sample of distinct configurations (§4.2: 200)."""
+        rng = random.Random(seed)
+        names = list(self._grid)
+        seen: set[MicroArch] = set()
+        picks: list[MicroArch] = []
+        if count > self.size():
+            raise ValueError(f"cannot sample {count} from {self.size()} configs")
+        while len(picks) < count:
+            machine = MicroArch(
+                **{name: rng.choice(self._grid[name]) for name in names}
+            )
+            if machine not in seen:
+                seen.add(machine)
+                picks.append(machine)
+        return picks
+
+    def neighbours(self, machine: MicroArch) -> Iterator[MicroArch]:
+        """Configurations differing in exactly one parameter (for DSE)."""
+        for name, values in self._grid.items():
+            for value in values:
+                if value != getattr(machine, name):
+                    yield replace(machine, **{name: value})
+
+
+def descriptor_matrix(machines: Sequence[MicroArch], extended: bool = False):
+    """Descriptor vectors for many machines as a list of tuples."""
+    return [machine.descriptor(extended) for machine in machines]

@@ -1,0 +1,55 @@
+"""The Intel XScale reference configuration (Table 2's right column)."""
+
+from __future__ import annotations
+
+from repro.machine.params import MicroArch
+
+
+def xscale(extended: bool = False) -> MicroArch:
+    """The baseline processor: 32K/32-way/32B caches, 512×1 BTB, 400 MHz,
+    single issue.  ``extended`` has no effect on the values (the XScale *is*
+    400 MHz / width 1) and exists for signature symmetry with the space."""
+    del extended
+    return MicroArch(
+        il1_size=32 * 1024,
+        il1_assoc=32,
+        il1_block=32,
+        dl1_size=32 * 1024,
+        dl1_assoc=32,
+        dl1_block=32,
+        btb_entries=512,
+        btb_assoc=1,
+        frequency_mhz=400,
+        issue_width=1,
+    )
+
+
+#: Figure 1's three illustrative microarchitectures.
+def xscale_small_icache() -> MicroArch:
+    """Microarchitecture B of Figure 1: XScale with a small insn cache."""
+    base = xscale()
+    return MicroArch(
+        il1_size=4 * 1024,
+        il1_assoc=base.il1_assoc,
+        il1_block=base.il1_block,
+        dl1_size=base.dl1_size,
+        dl1_assoc=base.dl1_assoc,
+        dl1_block=base.dl1_block,
+        btb_entries=base.btb_entries,
+        btb_assoc=base.btb_assoc,
+    )
+
+
+def xscale_small_both_caches() -> MicroArch:
+    """Microarchitecture C of Figure 1: small insn and data caches."""
+    small = xscale_small_icache()
+    return MicroArch(
+        il1_size=small.il1_size,
+        il1_assoc=small.il1_assoc,
+        il1_block=small.il1_block,
+        dl1_size=4 * 1024,
+        dl1_assoc=small.dl1_assoc,
+        dl1_block=small.dl1_block,
+        btb_entries=small.btb_entries,
+        btb_assoc=small.btb_assoc,
+    )

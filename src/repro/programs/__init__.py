@@ -1,0 +1,34 @@
+"""The MiBench stand-in: synthetic embedded benchmarks (paper §4.1)."""
+
+from repro.programs.generator import ProgramBuilder, build_program
+from repro.programs.mibench import (
+    DYN,
+    MIBENCH_ORDER,
+    mibench_names,
+    mibench_program,
+    mibench_spec,
+    mibench_suite,
+)
+from repro.programs.spec import (
+    AccessSpec,
+    CalleeSpec,
+    LoopSpec,
+    ProgramSpec,
+    RegionSpec,
+)
+
+__all__ = [
+    "AccessSpec",
+    "CalleeSpec",
+    "DYN",
+    "LoopSpec",
+    "MIBENCH_ORDER",
+    "ProgramBuilder",
+    "ProgramSpec",
+    "RegionSpec",
+    "build_program",
+    "mibench_names",
+    "mibench_program",
+    "mibench_spec",
+    "mibench_suite",
+]

@@ -1,0 +1,1174 @@
+"""The 35 MiBench stand-in programs (the paper's Figure 4 x-axis).
+
+Each spec encodes the optimisation profile of its real counterpart as
+reported in the paper and the MiBench characterisation literature:
+
+* ``rijndael_e``/``rijndael_d`` have extensively hand-unrolled source, so
+  their hot bodies are large, further unrolling is futile
+  (``max-unrolled-insns`` collapses the factor to 1), and on small
+  instruction caches the -O3 defaults (inlining, unswitching, aggressive
+  scheduling, alignment) blow the loop out of the cache — the paper's
+  best-case 4.8x comes from turning them off;
+* ``madplay``, ``lame``, ``say``, ``toast``/``untoast`` and ``gs`` carry
+  medium-to-large hot regions that cross the small end of the I-cache
+  axis once -O3 has inlined and unswitched them;
+* ``search`` (stringsearch) and ``bitcnts`` have tiny predictable counted
+  loops: the unrolling family dominates, as the paper's Figure 8 shows;
+* ``crc``'s hot loop calls a routine that keeps a pointer in memory; only
+  inlining with a larger-than-default size budget turns that traffic into
+  register arithmetic (the paper's §5.3 failure analysis);
+* ``ispell``, ``pgp``, ``pgp_sa`` and ``say`` are call-bound: the inlining
+  parameters are their most important dimensions (Figure 8);
+* ``qsort`` and ``basicmath`` are library-bound with serial dependences:
+  almost nothing helps, matching their flat Figure 4 boxes;
+* the tiff/susan/jpeg image codes stream large buffers through the D-cache
+  with moderate code-side headroom; the audio codecs (adpcm, gsm) are
+  MAC-heavy with loop-carried filter state.
+
+Dynamic sizes follow §4.1: every program models ≥100M executed
+instructions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.compiler.ir import Program
+from repro.programs.generator import build_program
+from repro.programs.spec import (
+    AccessSpec,
+    CalleeSpec,
+    LoopSpec,
+    ProgramSpec,
+    RegionSpec,
+)
+
+#: Total dynamic instructions modelled per program (paper §4.1: >= 100M).
+DYN = 1.0e8
+
+KB = 1024
+
+
+def _spec(name: str, seed: int, **kwargs) -> ProgramSpec:
+    return ProgramSpec(name=name, seed=seed, **kwargs)
+
+
+def _stream(name: str, size: int) -> RegionSpec:
+    return RegionSpec(name, size, "stream")
+
+
+def _table(name: str, size: int) -> RegionSpec:
+    return RegionSpec(name, size, "table")
+
+
+def _chase(name: str, size: int) -> RegionSpec:
+    return RegionSpec(name, size, "chase")
+
+
+def _build_specs() -> dict[str, ProgramSpec]:
+    specs: list[ProgramSpec] = []
+
+    # ----------------------------------------------------------- low headroom
+    specs.append(
+        _spec(
+            "qsort",
+            seed=101,
+            description="library-bound sort; compare callback dominates",
+            regions=(_stream("array", 256 * KB), _table("pivots", 2 * KB)),
+            callees=(
+                CalleeSpec("cmp", body_insns=18, frame_traffic=2, inline_candidate=False),
+            ),
+            loops=(
+                LoopSpec(
+                    "partition",
+                    trip_count=48.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=2,
+                    block_insns=9,
+                    accesses=(AccessSpec("array", loads_per_iter=2, stores_per_iter=1, stride=8),),
+                    calls=("cmp",),
+                    carried_dep_latency=1,
+                    ilp=1.5,
+                    predictability=0.82,
+                    diamonds=1,
+                    diamond_taken=0.45,
+                    redundancy_local=0.02,
+                    redundancy_global=0.05,
+                    range_check_rate=0.03,
+                    peephole_rate=0.02,
+                ),
+            ),
+            cold_insns=160,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "rawcaudio",
+            seed=102,
+            description="ADPCM encode: tiny serial kernel, nothing helps",
+            regions=(_stream("pcm", 512 * KB), _table("steps", 1 * KB)),
+            loops=(
+                LoopSpec(
+                    "encode",
+                    trip_count=8192.0,
+                    dyn_insns=0.95 * DYN,
+                    body_blocks=1,
+                    block_insns=11,
+                    accesses=(
+                        AccessSpec("pcm", loads_per_iter=1, stride=2),
+                        AccessSpec("steps", loads_per_iter=1, stride=0),
+                    ),
+                    carried_dep_latency=1,
+                    ilp=1.2,
+                    predictability=0.88,
+                    diamonds=1,
+                    diamond_taken=0.5,
+                    peephole_rate=0.03,
+                ),
+            ),
+            cold_insns=80,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "tiff2rgba",
+            seed=103,
+            description="pixel-format conversion: pure streaming, D-cache bound",
+            regions=(_stream("src", 1024 * KB), _stream("dst", 2048 * KB)),
+            loops=(
+                LoopSpec(
+                    "convert",
+                    trip_count=4096.0,
+                    dyn_insns=0.92 * DYN,
+                    body_blocks=2,
+                    block_insns=10,
+                    accesses=(
+                        AccessSpec("src", loads_per_iter=3, stride=3),
+                        AccessSpec("dst", stores_per_iter=4, stride=4),
+                    ),
+                    ilp=3.0,
+                    predictability=0.99,
+                    redundancy_local=0.05,
+                    invariant_load_rate=0.05,
+                    invariant_store_rate=0.03,
+                    range_check_rate=0.03,
+                ),
+            ),
+            cold_insns=140,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "gs",
+            seed=104,
+            description="ghostscript: big interpreter body, huge cold code",
+            regions=(_table("dict", 64 * KB), _stream("page", 512 * KB)),
+            callees=(
+                CalleeSpec("op_dispatch", body_insns=40, frame_traffic=3, inline_candidate=False),
+                CalleeSpec("fill_span", body_insns=30, frame_traffic=2),
+            ),
+            loops=(
+                LoopSpec(
+                    "interp",
+                    trip_count=96.0,
+                    dyn_insns=0.55 * DYN,
+                    body_blocks=6,
+                    block_insns=40,
+                    accesses=(AccessSpec("dict", loads_per_iter=2, stride=0),),
+                    calls=("op_dispatch",),
+                    ilp=1.8,
+                    predictability=0.85,
+                    diamonds=2,
+                    diamond_taken=0.35,
+                    redundancy_global=0.07,
+                    partial_redundancy=0.03,
+                    peephole_rate=0.03,
+                    invariant_branch=True,
+                ),
+                LoopSpec(
+                    "render",
+                    trip_count=512.0,
+                    dyn_insns=0.35 * DYN,
+                    body_blocks=2,
+                    block_insns=12,
+                    accesses=(AccessSpec("page", stores_per_iter=2, stride=4),),
+                    calls=("fill_span",),
+                    ilp=2.5,
+                    predictability=0.96,
+                    invariant_alu_rate=0.06,
+                    invariant_store_rate=0.3,
+                ),
+            ),
+            cold_insns=700,
+            mergeable_tails=((2, 6), (2, 6)),
+            jump_chains=2,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "djpeg",
+            seed=105,
+            description="JPEG decode: IDCT MACs + table lookups + streams",
+            regions=(
+                _stream("coef", 256 * KB),
+                _stream("pixels", 768 * KB),
+                _table("quant", 2 * KB),
+            ),
+            loops=(
+                LoopSpec(
+                    "mcu",
+                    trip_count=1024.0,
+                    dyn_insns=0.04 * DYN,
+                    body_blocks=2,
+                    block_insns=13,
+                    mix_mac=0.3,
+                    mix_shift=0.15,
+                    accesses=(
+                        AccessSpec("coef", loads_per_iter=2, stride=8),
+                        AccessSpec("quant", loads_per_iter=1, stride=0),
+                        AccessSpec("pixels", stores_per_iter=2, stride=8),
+                    ),
+                    inner=LoopSpec(
+                        "idct",
+                        trip_count=24.0,
+                        dyn_insns=0.88 * DYN,
+                        body_blocks=1,
+                        block_insns=16,
+                        mix_mac=0.4,
+                        accesses=(AccessSpec("coef", loads_per_iter=2, stride=4),),
+                        ilp=2.2,
+                        redundancy_local=0.08,
+                        induction_rate=0.05,
+                        peephole_rate=0.02,
+                    ),
+                    ilp=2.4,
+                    predictability=0.97,
+                    redundancy_global=0.06,
+                    invariant_load_rate=0.08,
+                ),
+            ),
+            cold_insns=260,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "patricia",
+            seed=106,
+            description="trie lookup: dependent pointer chases, unpredictable",
+            regions=(_chase("trie", 192 * KB), _stream("keys", 64 * KB)),
+            loops=(
+                LoopSpec(
+                    "lookup",
+                    trip_count=24.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=1,
+                    block_insns=9,
+                    accesses=(
+                        AccessSpec("trie", loads_per_iter=2, stride=16),
+                        AccessSpec("keys", loads_per_iter=1, stride=4),
+                    ),
+                    carried_dep_latency=3,
+                    ilp=1.3,
+                    predictability=0.78,
+                    diamonds=1,
+                    diamond_taken=0.5,
+                    redundancy_global=0.06,
+                    invariant_load_rate=0.08,
+                ),
+            ),
+            cold_insns=130,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "basicmath",
+            seed=107,
+            description="cubic/rad2deg library math: serial MAC chains",
+            regions=(_stream("results", 64 * KB),),
+            callees=(
+                CalleeSpec("solve", body_insns=34, frame_traffic=2, inline_candidate=False),
+            ),
+            loops=(
+                LoopSpec(
+                    "mathloop",
+                    trip_count=2048.0,
+                    dyn_insns=0.92 * DYN,
+                    body_blocks=1,
+                    block_insns=12,
+                    mix_mac=0.45,
+                    accesses=(AccessSpec("results", stores_per_iter=1, stride=8),),
+                    calls=("solve",),
+                    carried_dep_latency=2,
+                    ilp=1.3,
+                    predictability=0.98,
+                    range_check_rate=0.03,
+                    redundancy_global=0.05,
+                    induction_rate=0.06,
+                ),
+            ),
+            cold_insns=110,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "lout",
+            seed=108,
+            description="document formatter: branchy, call-bound, big code",
+            regions=(_table("symtab", 96 * KB), _stream("text", 256 * KB)),
+            callees=(
+                CalleeSpec("lookup_sym", body_insns=26, frame_traffic=3),
+                CalleeSpec("emit_word", body_insns=30, frame_traffic=3, inline_candidate=False),
+            ),
+            loops=(
+                LoopSpec(
+                    "format",
+                    trip_count=160.0,
+                    dyn_insns=0.85 * DYN,
+                    body_blocks=3,
+                    block_insns=20,
+                    accesses=(
+                        AccessSpec("symtab", loads_per_iter=2, stride=0),
+                        AccessSpec("text", loads_per_iter=1, stride=2),
+                    ),
+                    calls=("lookup_sym", "emit_word"),
+                    ilp=1.9,
+                    predictability=0.87,
+                    diamonds=2,
+                    diamond_taken=0.4,
+                    redundancy_global=0.1,
+                    range_check_rate=0.04,
+                    partial_redundancy=0.05,
+                    invariant_alu_rate=0.08,
+                ),
+            ),
+            cold_insns=520,
+            mergeable_tails=((2, 5),),
+            jump_chains=1,
+        )
+    )
+
+    # ------------------------------------------------------- fft / susan band
+    for fft_name, fft_seed in (("fft_i", 109), ("fft", 110)):
+        specs.append(
+            _spec(
+                fft_name,
+                seed=fft_seed,
+                description="radix-2 FFT: MAC-rich nested loops, strided twiddles",
+                regions=(
+                    _stream("signal", 256 * KB),
+                    _table("twiddle", 16 * KB),
+                ),
+                loops=(
+                    LoopSpec(
+                        "stages",
+                        trip_count=10.0,
+                        dyn_insns=0.02 * DYN,
+                        body_blocks=1,
+                        block_insns=10,
+                        mix_mac=0.2,
+                        invariant_alu_rate=0.1,
+                        inner=LoopSpec(
+                            "butterfly",
+                            trip_count=512.0,
+                            dyn_insns=0.92 * DYN,
+                            body_blocks=2,
+                            block_insns=12,
+                            mix_mac=0.45,
+                            accesses=(
+                                AccessSpec("signal", loads_per_iter=2, stores_per_iter=2, stride=16),
+                                AccessSpec("twiddle", loads_per_iter=1, stride=0),
+                            ),
+                            ilp=2.0,
+                            predictability=0.99,
+                            redundancy_local=0.1,
+                            invariant_load_rate=0.12,
+                            induction_rate=0.08,
+                            after_store_rate=0.3,
+                        ),
+                        ilp=2.5,
+                        predictability=0.98,
+                    ),
+                ),
+                cold_insns=150,
+            )
+        )
+
+    for susan, sseed in (("susan_s", 111), ("susan_c", 112)):
+        specs.append(
+            _spec(
+                susan,
+                seed=sseed,
+                description="image smoothing/corners: window streams + table",
+                regions=(
+                    _stream("image", 384 * KB),
+                    _stream("out", 384 * KB),
+                    _table("lut", 1 * KB),
+                ),
+                loops=(
+                    LoopSpec(
+                        "rows",
+                        trip_count=240.0,
+                        dyn_insns=0.02 * DYN,
+                        body_blocks=1,
+                        block_insns=8,
+                        invariant_alu_rate=0.1,
+                        inner=LoopSpec(
+                            "cols",
+                            trip_count=320.0,
+                            dyn_insns=0.92 * DYN,
+                            body_blocks=2,
+                            block_insns=11,
+                            mix_shift=0.2,
+                            accesses=(
+                                AccessSpec("image", loads_per_iter=3, stride=1),
+                                AccessSpec("lut", loads_per_iter=1, stride=0),
+                                AccessSpec("out", stores_per_iter=1, stride=1),
+                            ),
+                            ilp=2.3,
+                            predictability=0.97,
+                            redundancy_local=0.1,
+                            invariant_load_rate=0.1,
+                            diamonds=1,
+                            diamond_taken=0.25,
+                        ),
+                        ilp=3.0,
+                        predictability=0.99,
+                    ),
+                ),
+                cold_insns=170,
+            )
+        )
+
+    specs.append(
+        _spec(
+            "tiffmedian",
+            seed=113,
+            description="median-cut quantisation: histogram tables + streams",
+            regions=(
+                _stream("image", 1024 * KB),
+                _table("hist", 128 * KB),
+            ),
+            loops=(
+                LoopSpec(
+                    "histogram",
+                    trip_count=8192.0,
+                    dyn_insns=0.55 * DYN,
+                    body_blocks=1,
+                    block_insns=9,
+                    accesses=(
+                        AccessSpec("image", loads_per_iter=2, stride=3),
+                        AccessSpec("hist", loads_per_iter=1, stores_per_iter=1, stride=0),
+                    ),
+                    ilp=2.0,
+                    predictability=0.98,
+                    redundancy_local=0.06,
+                    after_store_rate=0.4,
+                ),
+                LoopSpec(
+                    "cut",
+                    trip_count=256.0,
+                    dyn_insns=0.35 * DYN,
+                    body_blocks=2,
+                    block_insns=12,
+                    accesses=(AccessSpec("hist", loads_per_iter=3, stride=0),),
+                    ilp=1.8,
+                    predictability=0.9,
+                    diamonds=1,
+                    diamond_taken=0.45,
+                    redundancy_global=0.07,
+                ),
+            ),
+            cold_insns=200,
+        )
+    )
+
+    # ------------------------------------------------------ call-bound band
+    specs.append(
+        _spec(
+            "ispell",
+            seed=114,
+            description="spell checker: inlining-dominated dictionary walks",
+            regions=(_table("dict", 256 * KB), _stream("words", 64 * KB)),
+            callees=(
+                CalleeSpec("hash_word", body_insns=48, frame_traffic=6),
+                CalleeSpec("strcmp_", body_insns=36, frame_traffic=4),
+            ),
+            loops=(
+                LoopSpec(
+                    "check",
+                    trip_count=384.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=2,
+                    block_insns=16,
+                    accesses=(
+                        AccessSpec("dict", loads_per_iter=2, stride=0),
+                        AccessSpec("words", loads_per_iter=1, stride=4),
+                    ),
+                    calls=("hash_word", "strcmp_"),
+                    ilp=2.0,
+                    predictability=0.9,
+                    diamonds=1,
+                    diamond_taken=0.3,
+                    redundancy_global=0.06,
+                    peephole_rate=0.03,
+                ),
+            ),
+            cold_insns=300,
+        )
+    )
+
+    for pgp_name, pgp_seed in (("pgp", 115), ("pgp_sa", 116)):
+        specs.append(
+            _spec(
+                pgp_name,
+                seed=pgp_seed,
+                description="public-key crypto: bignum helper calls dominate",
+                regions=(_stream("bignum", 32 * KB), _table("primes", 8 * KB)),
+                callees=(
+                    CalleeSpec("mp_mul_step", body_insns=56, frame_traffic=6),
+                    CalleeSpec("mp_mod_step", body_insns=62, frame_traffic=6),
+                ),
+                loops=(
+                    LoopSpec(
+                        "modexp",
+                        trip_count=1024.0,
+                        dyn_insns=0.92 * DYN,
+                        body_blocks=2,
+                        block_insns=12,
+                        mix_mac=0.3,
+                        accesses=(AccessSpec("bignum", loads_per_iter=2, stores_per_iter=1, stride=4),),
+                        calls=("mp_mul_step", "mp_mod_step"),
+                        carried_dep_latency=2,
+                        ilp=1.7,
+                        predictability=0.95,
+                        redundancy_global=0.08,
+                        after_store_rate=0.3,
+                    ),
+                ),
+                cold_insns=340,
+            )
+        )
+
+    specs.append(
+        _spec(
+            "tiffdither",
+            seed=117,
+            description="error-diffusion dither: serial row stream",
+            regions=(_stream("image", 768 * KB), _stream("errbuf", 8 * KB)),
+            loops=(
+                LoopSpec(
+                    "dither",
+                    trip_count=4096.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=2,
+                    block_insns=10,
+                    accesses=(
+                        AccessSpec("image", loads_per_iter=1, stores_per_iter=1, stride=1),
+                        AccessSpec("errbuf", loads_per_iter=2, stores_per_iter=1, stride=2),
+                    ),
+                    carried_dep_latency=1,
+                    ilp=1.5,
+                    predictability=0.93,
+                    diamonds=1,
+                    diamond_taken=0.5,
+                    redundancy_local=0.07,
+                    after_store_rate=0.35,
+                    invariant_store_rate=0.25,
+                ),
+            ),
+            cold_insns=150,
+        )
+    )
+
+    for bf_name, bf_seed in (("bf_e", 118), ("bf_d", 119)):
+        specs.append(
+            _spec(
+                bf_name,
+                seed=bf_seed,
+                description="blowfish: feistel rounds on 4KB S-box tables",
+                regions=(
+                    _table("sbox", 4 * KB),
+                    _stream("data", 512 * KB),
+                ),
+                loops=(
+                    LoopSpec(
+                        "feistel",
+                        trip_count=512.0,
+                        dyn_insns=0.92 * DYN,
+                        body_blocks=3,
+                        block_insns=24,
+                        mix_shift=0.25,
+                        accesses=(
+                            AccessSpec("sbox", loads_per_iter=4, stride=0),
+                            AccessSpec("data", loads_per_iter=1, stores_per_iter=1, stride=8),
+                        ),
+                        carried_dep_latency=1,
+                        ilp=1.8,
+                        predictability=0.99,
+                        redundancy_local=0.1,
+                        redundancy_global=0.08,
+                        invariant_load_rate=0.08,
+                        after_store_rate=0.25,
+                        peephole_rate=0.02,
+                    ),
+                ),
+                cold_insns=220,
+            )
+        )
+
+    specs.append(
+        _spec(
+            "rawdaudio",
+            seed=120,
+            description="ADPCM decode: tiny serial kernel",
+            regions=(_stream("adpcm", 256 * KB), _table("steps", 1 * KB)),
+            loops=(
+                LoopSpec(
+                    "decode",
+                    trip_count=8192.0,
+                    dyn_insns=0.95 * DYN,
+                    body_blocks=1,
+                    block_insns=10,
+                    accesses=(
+                        AccessSpec("adpcm", loads_per_iter=1, stride=1),
+                        AccessSpec("steps", loads_per_iter=1, stride=0),
+                    ),
+                    carried_dep_latency=1,
+                    ilp=1.2,
+                    predictability=0.9,
+                    diamonds=1,
+                    diamond_taken=0.5,
+                    redundancy_local=0.04,
+                ),
+            ),
+            cold_insns=80,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "tiff2bw",
+            seed=121,
+            description="RGB→grey: 3-tap MAC stream",
+            regions=(_stream("rgb", 1536 * KB), _stream("grey", 512 * KB)),
+            loops=(
+                LoopSpec(
+                    "grey",
+                    trip_count=16384.0,
+                    dyn_insns=0.93 * DYN,
+                    body_blocks=1,
+                    block_insns=9,
+                    mix_mac=0.35,
+                    accesses=(
+                        AccessSpec("rgb", loads_per_iter=3, stride=3),
+                        AccessSpec("grey", stores_per_iter=1, stride=1),
+                    ),
+                    ilp=2.5,
+                    predictability=0.995,
+                    redundancy_local=0.08,
+                    invariant_load_rate=0.06,
+                    induction_rate=0.06,
+                ),
+            ),
+            cold_insns=120,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "cjpeg",
+            seed=122,
+            description="JPEG encode: FDCT + quantisation, nested loops",
+            regions=(
+                _stream("pixels", 768 * KB),
+                _stream("coef", 256 * KB),
+                _table("quant", 2 * KB),
+            ),
+            loops=(
+                LoopSpec(
+                    "mcu",
+                    trip_count=1024.0,
+                    dyn_insns=0.04 * DYN,
+                    body_blocks=2,
+                    block_insns=12,
+                    mix_mac=0.35,
+                    accesses=(
+                        AccessSpec("pixels", loads_per_iter=2, stride=8),
+                        AccessSpec("quant", loads_per_iter=1, stride=0),
+                        AccessSpec("coef", stores_per_iter=2, stride=8),
+                    ),
+                    inner=LoopSpec(
+                        "fdct",
+                        trip_count=24.0,
+                        dyn_insns=0.86 * DYN,
+                        body_blocks=1,
+                        block_insns=15,
+                        mix_mac=0.4,
+                        accesses=(AccessSpec("pixels", loads_per_iter=2, stride=4),),
+                        ilp=2.2,
+                        redundancy_local=0.1,
+                        induction_rate=0.06,
+                    ),
+                    ilp=2.4,
+                    predictability=0.97,
+                    redundancy_global=0.05,
+                    invariant_load_rate=0.08,
+                ),
+            ),
+            cold_insns=260,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "lame",
+            seed=123,
+            description="MP3 encode: psychoacoustic MAC storm, big hot code",
+            regions=(
+                _stream("pcm", 1024 * KB),
+                _table("window", 16 * KB),
+                _stream("mdct", 128 * KB),
+            ),
+            callees=(CalleeSpec("psy_step", body_insns=60, frame_traffic=4),),
+            loops=(
+                LoopSpec(
+                    "granule",
+                    trip_count=256.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=5,
+                    block_insns=64,
+                    mix_mac=0.4,
+                    accesses=(
+                        AccessSpec("pcm", loads_per_iter=3, stride=4),
+                        AccessSpec("window", loads_per_iter=2, stride=0),
+                        AccessSpec("mdct", stores_per_iter=2, stride=8),
+                    ),
+                    calls=("psy_step",),
+                    ilp=2.1,
+                    predictability=0.96,
+                    redundancy_local=0.08,
+                    redundancy_global=0.06,
+                    invariant_load_rate=0.08,
+                    invariant_store_rate=0.25,
+                    after_store_rate=0.3,
+                    invariant_branch=True,
+                ),
+            ),
+            cold_insns=420,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "dijkstra",
+            seed=124,
+            description="shortest path: adjacency chases, unpredictable relax",
+            regions=(_chase("graph", 256 * KB), _stream("dist", 64 * KB)),
+            loops=(
+                LoopSpec(
+                    "relax",
+                    trip_count=100.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=2,
+                    block_insns=10,
+                    accesses=(
+                        AccessSpec("graph", loads_per_iter=2, stride=12),
+                        AccessSpec("dist", loads_per_iter=1, stores_per_iter=1, stride=4),
+                    ),
+                    carried_dep_latency=3,
+                    ilp=1.4,
+                    predictability=0.8,
+                    diamonds=1,
+                    diamond_taken=0.4,
+                    redundancy_global=0.06,
+                    invariant_load_rate=0.08,
+                ),
+            ),
+            cold_insns=140,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "susan_e",
+            seed=125,
+            description="edge detection: window sums, unroll-friendly",
+            regions=(
+                _stream("image", 384 * KB),
+                _stream("edges", 384 * KB),
+                _table("lut", 1 * KB),
+            ),
+            loops=(
+                LoopSpec(
+                    "window",
+                    trip_count=2048.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=1,
+                    block_insns=8,
+                    mix_shift=0.15,
+                    accesses=(
+                        AccessSpec("image", loads_per_iter=2, stride=1),
+                        AccessSpec("lut", loads_per_iter=1, stride=0),
+                        AccessSpec("edges", stores_per_iter=1, stride=1),
+                    ),
+                    ilp=2.8,
+                    predictability=0.99,
+                    redundancy_local=0.12,
+                    invariant_load_rate=0.1,
+                ),
+            ),
+            cold_insns=160,
+        )
+    )
+
+    for gsm_name, gsm_seed, extra_block in (("toast", 126, 0), ("untoast", 128, 1)):
+        specs.append(
+            _spec(
+                gsm_name,
+                seed=gsm_seed,
+                description="GSM codec: LPC filter MACs with carried state",
+                regions=(
+                    _stream("speech", 512 * KB),
+                    _table("lpc", 4 * KB),
+                ),
+                callees=(CalleeSpec("filter_seg", body_insns=64, frame_traffic=5),),
+                loops=(
+                    LoopSpec(
+                        "frame",
+                        trip_count=1024.0,
+                        dyn_insns=0.9 * DYN,
+                        body_blocks=6 + extra_block,
+                        block_insns=56,
+                        mix_mac=0.45,
+                        accesses=(
+                            AccessSpec("speech", loads_per_iter=2, stores_per_iter=1, stride=2),
+                            AccessSpec("lpc", loads_per_iter=1, stride=0),
+                        ),
+                        calls=("filter_seg",),
+                        carried_dep_latency=2,
+                        ilp=1.8,
+                        predictability=0.97,
+                        redundancy_local=0.1,
+                        redundancy_global=0.07,
+                        invariant_load_rate=0.08,
+                        after_store_rate=0.3,
+                        invariant_store_rate=0.2,
+                        invariant_branch=True,
+                    ),
+                ),
+                cold_insns=240,
+            )
+        )
+
+    specs.append(
+        _spec(
+            "madplay",
+            seed=127,
+            description="MPEG audio decode: big subband body, unswitch+inline prone",
+            regions=(
+                _stream("bitstream", 512 * KB),
+                _table("subband", 16 * KB),
+                _stream("pcm_out", 512 * KB),
+            ),
+            callees=(
+                CalleeSpec("synth_step", body_insns=88, frame_traffic=4),
+                CalleeSpec("dequant", body_insns=40, frame_traffic=3),
+            ),
+            loops=(
+                LoopSpec(
+                    "subband",
+                    trip_count=512.0,
+                    dyn_insns=0.92 * DYN,
+                    body_blocks=6,
+                    block_insns=64,
+                    mix_mac=0.4,
+                    mix_shift=0.15,
+                    accesses=(
+                        AccessSpec("bitstream", loads_per_iter=2, stride=4),
+                        AccessSpec("subband", loads_per_iter=2, stride=0),
+                        AccessSpec("pcm_out", stores_per_iter=2, stride=4),
+                    ),
+                    calls=("synth_step", "dequant"),
+                    ilp=2.2,
+                    predictability=0.97,
+                    redundancy_local=0.08,
+                    redundancy_global=0.08,
+                    invariant_load_rate=0.06,
+                    invariant_store_rate=0.25,
+                    after_store_rate=0.3,
+                    invariant_branch=True,
+                ),
+            ),
+            cold_insns=380,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "sha",
+            seed=129,
+            description="SHA-1: serial hash feedback, medium unrolled rounds",
+            regions=(_stream("message", 512 * KB), _table("k", 1 * KB)),
+            loops=(
+                LoopSpec(
+                    "rounds",
+                    trip_count=4096.0,
+                    dyn_insns=0.93 * DYN,
+                    body_blocks=2,
+                    block_insns=14,
+                    mix_shift=0.3,
+                    accesses=(
+                        AccessSpec("message", loads_per_iter=1, stride=4),
+                        AccessSpec("k", loads_per_iter=1, stride=0),
+                    ),
+                    carried_dep_latency=1,
+                    ilp=1.6,
+                    predictability=0.995,
+                    redundancy_local=0.12,
+                    invariant_load_rate=0.1,
+                ),
+            ),
+            cold_insns=140,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "bitcnts",
+            seed=130,
+            description="bit counting: tiny counted loops, unroll heaven",
+            regions=(_table("nibble_lut", 256), _stream("words", 128 * KB)),
+            loops=(
+                LoopSpec(
+                    "count",
+                    trip_count=65536.0,
+                    dyn_insns=0.95 * DYN,
+                    body_blocks=1,
+                    block_insns=4,
+                    mix_shift=0.35,
+                    accesses=(
+                        AccessSpec("words", loads_per_iter=1, stride=4),
+                        AccessSpec("nibble_lut", loads_per_iter=1, stride=0),
+                    ),
+                    ilp=2.5,
+                    predictability=0.999,
+                    redundancy_local=0.1,
+                    invariant_load_rate=0.08,
+                ),
+            ),
+            cold_insns=90,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "say",
+            seed=131,
+            description="speech synthesis: phoneme pipeline of helper calls",
+            regions=(
+                _table("phoneme", 64 * KB),
+                _stream("audio", 512 * KB),
+            ),
+            callees=(
+                CalleeSpec("rules_step", body_insns=52, frame_traffic=6),
+                CalleeSpec("klatt_step", body_insns=40, frame_traffic=6),
+                CalleeSpec("out_sample", body_insns=12, frame_traffic=2, sibling_target="klatt_step"),
+            ),
+            loops=(
+                LoopSpec(
+                    "synth",
+                    trip_count=768.0,
+                    dyn_insns=0.9 * DYN,
+                    body_blocks=5,
+                    block_insns=60,
+                    mix_mac=0.3,
+                    accesses=(
+                        AccessSpec("phoneme", loads_per_iter=2, stride=0),
+                        AccessSpec("audio", stores_per_iter=1, stride=2),
+                    ),
+                    calls=("rules_step", "out_sample"),
+                    ilp=1.9,
+                    predictability=0.92,
+                    diamonds=1,
+                    diamond_taken=0.35,
+                    redundancy_global=0.07,
+                    invariant_branch=True,
+                    peephole_rate=0.03,
+                ),
+            ),
+            cold_insns=320,
+        )
+    )
+
+    for rijndael, rseed, rblocks in (("rijndael_d", 132, 9), ("rijndael_e", 134, 10)):
+        specs.append(
+            _spec(
+                rijndael,
+                seed=rseed,
+                description="AES with hand-unrolled rounds: I-cache cliff at -O3",
+                regions=(
+                    _table("sbox", 10 * KB),
+                    _stream("blocks", 512 * KB),
+                ),
+                callees=(
+                    CalleeSpec("mix_columns", body_insns=80, frame_traffic=3),
+                    CalleeSpec("key_step", body_insns=72, frame_traffic=3),
+                ),
+                loops=(
+                    LoopSpec(
+                        "rounds",
+                        trip_count=64.0,
+                        dyn_insns=0.93 * DYN,
+                        body_blocks=rblocks,
+                        block_insns=56,
+                        mix_shift=0.25,
+                        accesses=(
+                            AccessSpec("sbox", loads_per_iter=12, stride=0),
+                            AccessSpec("blocks", loads_per_iter=4, stores_per_iter=4, stride=16),
+                        ),
+                        calls=("mix_columns", "key_step"),
+                        ilp=2.6,
+                        predictability=0.99,
+                        redundancy_local=0.1,
+                        redundancy_global=0.1,
+                        invariant_load_rate=0.06,
+                        after_store_rate=0.25,
+                        invariant_branch=True,
+                    ),
+                ),
+                cold_insns=300,
+            )
+        )
+
+    specs.append(
+        _spec(
+            "crc",
+            seed=133,
+            description="CRC32: helper keeps the pointer in memory; only "
+            "large-budget inlining turns it into register arithmetic",
+            regions=(_table("crctab", 1 * KB), _stream("buffer", 1024 * KB)),
+            callees=(CalleeSpec("crc_update", body_insns=96, frame_traffic=16),),
+            loops=(
+                LoopSpec(
+                    "bytes",
+                    trip_count=16384.0,
+                    dyn_insns=0.94 * DYN,
+                    body_blocks=1,
+                    block_insns=6,
+                    accesses=(
+                        AccessSpec("buffer", loads_per_iter=1, stride=1),
+                        AccessSpec("crctab", loads_per_iter=1, stride=0),
+                    ),
+                    calls=("crc_update",),
+                    carried_dep_latency=1,
+                    ilp=1.5,
+                    predictability=0.999,
+                    redundancy_local=0.06,
+                ),
+            ),
+            cold_insns=100,
+        )
+    )
+
+    specs.append(
+        _spec(
+            "search",
+            seed=135,
+            description="string search: tiny counted loops; the unrolling "
+            "family is everything (paper Fig. 8)",
+            regions=(_stream("text", 512 * KB), _table("shift", 1 * KB)),
+            loops=(
+                LoopSpec(
+                    "scan",
+                    trip_count=8192.0,
+                    dyn_insns=0.94 * DYN,
+                    body_blocks=1,
+                    block_insns=3,
+                    accesses=(
+                        AccessSpec("text", loads_per_iter=1, stride=1),
+                        AccessSpec("shift", loads_per_iter=1, stride=0),
+                    ),
+                    ilp=1.6,
+                    predictability=0.99,
+                    redundancy_local=0.2,
+                    invariant_load_rate=0.15,
+                ),
+            ),
+            cold_insns=90,
+        )
+    )
+
+    by_name = {spec.name: spec for spec in specs}
+    assert len(by_name) == len(specs), "duplicate program names"
+    return by_name
+
+
+_SPECS = _build_specs()
+
+#: Figure 4 x-axis order.
+MIBENCH_ORDER: tuple[str, ...] = (
+    "qsort",
+    "rawcaudio",
+    "tiff2rgba",
+    "gs",
+    "djpeg",
+    "patricia",
+    "basicmath",
+    "lout",
+    "fft_i",
+    "fft",
+    "susan_s",
+    "susan_c",
+    "tiffmedian",
+    "ispell",
+    "pgp",
+    "tiffdither",
+    "bf_e",
+    "bf_d",
+    "rawdaudio",
+    "pgp_sa",
+    "tiff2bw",
+    "cjpeg",
+    "lame",
+    "dijkstra",
+    "susan_e",
+    "toast",
+    "madplay",
+    "untoast",
+    "sha",
+    "bitcnts",
+    "say",
+    "rijndael_d",
+    "crc",
+    "rijndael_e",
+    "search",
+)
+
+
+def mibench_names() -> tuple[str, ...]:
+    """All 35 program names in the paper's Figure 4 order."""
+    return MIBENCH_ORDER
+
+
+def mibench_spec(name: str) -> ProgramSpec:
+    """The spec for one benchmark."""
+    return _SPECS[name]
+
+
+@lru_cache(maxsize=None)
+def mibench_program(name: str) -> Program:
+    """Build (and cache) the IR for one benchmark."""
+    return build_program(_SPECS[name])
+
+
+def mibench_suite(names: tuple[str, ...] | None = None) -> list[Program]:
+    """Build the full suite, or a subset, in Figure 4 order."""
+    chosen = names if names is not None else MIBENCH_ORDER
+    return [mibench_program(name) for name in chosen]

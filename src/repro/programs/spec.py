@@ -1,0 +1,167 @@
+"""Program specifications: the schema the MiBench stand-ins are written in.
+
+A :class:`ProgramSpec` describes a benchmark the way a compiler writer would
+characterise it — hot loop structure, instruction mix, redundancy rates,
+memory regions and access patterns, call structure, branch behaviour — and
+:mod:`repro.programs.generator` expands it deterministically into IR.
+
+The spec fields map one-to-one onto optimisation opportunities, so a spec is
+also a statement of *which flags can matter* for the program:
+
+========================  ====================================================
+spec knob                 flags it gives traction to
+========================  ====================================================
+``redundancy_local``      fcse_* (local CSE scope)
+``redundancy_global``     fgcse, param_max_gcse_passes, fexpensive_optimizations
+``partial_redundancy``    ftree_pre
+``range_check_rate``      ftree_vrp
+``invariant_alu/load``    loop-invariant motion, frerun_loop_opt, fno_gcse_lm
+``invariant_store_rate``  fgcse_sm
+``after_store_rate``      fgcse_las
+``induction_rate``        fstrength_reduce
+``peephole_rate``         fpeephole2
+``trip_count``/body size  funroll_loops + params (and hand-unrolled sources
+                          defeat it, as in rijndael)
+``calls`` + callee sizes  finline_functions + params, foptimize_sibling_calls
+``carried_dep_latency``   caps what scheduling/unrolling can win
+``ilp``                   dependence spacing: what fschedule_insns can win
+``diamonds``/tails/...    freorder_blocks, fcrossjumping, fthread_jumps
+``regions``               dcache behaviour: what load/store motion saves
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """A data object the program touches."""
+
+    name: str
+    size_bytes: int
+    kind: str  # stream | table | chase (see ir.DataRegion)
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """Aggregated memory behaviour of one loop: per-iteration accesses."""
+
+    region: str
+    loads_per_iter: int = 0
+    stores_per_iter: int = 0
+    stride: int = 4  # bytes advanced per iteration (0 = invariant address)
+
+
+@dataclass(frozen=True)
+class CalleeSpec:
+    """A small out-of-line function callable from loop bodies."""
+
+    name: str
+    body_insns: int
+    #: memory ops inside the callee (e.g. crc's pointer update traffic);
+    #: these live in the prologue/epilogue region that inlining elides.
+    frame_traffic: int = 1
+    #: whether the callee ends with a tagged tail call to another callee
+    #: (exercises -foptimize-sibling-calls); names the target.
+    sibling_target: str | None = None
+    inline_candidate: bool = True
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One hot loop nest level."""
+
+    name: str
+    trip_count: float
+    dyn_insns: float  # dynamic instructions this loop level should execute
+    body_blocks: int = 2
+    block_insns: int = 12
+    #: instruction mix weights (alu/mac/shift are per-category weights;
+    #: loads/stores come from `accesses`).
+    mix_alu: float = 0.6
+    mix_mac: float = 0.1
+    mix_shift: float = 0.1
+    accesses: tuple[AccessSpec, ...] = ()
+    calls: tuple[str, ...] = ()  # callee names invoked once per iteration
+    inner: "LoopSpec | None" = None
+    carried_dep_latency: int = 0
+    #: mean distance between dependent instructions as generated (1 = fully
+    #: serial chains; 4 = wide, little for the scheduler to do).
+    ilp: float = 2.0
+    #: probability that the latch branch direction is correctly predictable.
+    predictability: float = 0.97
+    #: number of if/else diamonds in the body (reorder/branch pressure).
+    diamonds: int = 0
+    #: probability of the diamond branch being taken under current layout.
+    diamond_taken: float = 0.3
+    invariant_branch: bool = False  # an unswitchable invariant conditional
+    # --- redundancy and pattern rates, as fractions of body instructions ---
+    redundancy_local: float = 0.0
+    redundancy_global: float = 0.0
+    partial_redundancy: float = 0.0
+    range_check_rate: float = 0.0
+    invariant_alu_rate: float = 0.0
+    invariant_load_rate: float = 0.0
+    invariant_store_rate: float = 0.0
+    after_store_rate: float = 0.0
+    induction_rate: float = 0.0
+    peephole_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A whole benchmark."""
+
+    name: str
+    seed: int
+    loops: tuple[LoopSpec, ...]
+    regions: tuple[RegionSpec, ...] = ()
+    callees: tuple[CalleeSpec, ...] = ()
+    #: static instructions of cold code (startup, error paths) appended to
+    #: the binary; inflates footprint without dynamic weight.
+    cold_insns: int = 120
+    #: duplicated tail groups for -fcrossjumping: (copies, insns per copy).
+    mergeable_tails: tuple[tuple[int, int], ...] = ()
+    #: number of jump-to-jump trampolines for -fthread-jumps.
+    jump_chains: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ValueError(f"{self.name}: a program needs at least one loop")
+        region_names = {region.name for region in self.regions}
+        callee_names = {callee.name for callee in self.callees}
+
+        def check_loop(loop: LoopSpec) -> None:
+            for access in loop.accesses:
+                if access.region not in region_names:
+                    raise ValueError(
+                        f"{self.name}/{loop.name}: unknown region {access.region!r}"
+                    )
+            for callee in loop.calls:
+                if callee not in callee_names:
+                    raise ValueError(
+                        f"{self.name}/{loop.name}: unknown callee {callee!r}"
+                    )
+            if loop.inner is not None:
+                check_loop(loop.inner)
+
+        for loop in self.loops:
+            check_loop(loop)
+        for callee in self.callees:
+            if callee.sibling_target is not None and (
+                callee.sibling_target not in callee_names
+            ):
+                raise ValueError(
+                    f"{self.name}/{callee.name}: unknown sibling target "
+                    f"{callee.sibling_target!r}"
+                )
+
+    @property
+    def total_dyn_insns(self) -> float:
+        def loop_dyn(loop: LoopSpec) -> float:
+            return loop.dyn_insns + (loop_dyn(loop.inner) if loop.inner else 0.0)
+
+        return sum(loop_dyn(loop) for loop in self.loops)

@@ -1,0 +1,16 @@
+"""Iterative-compilation baselines (the paper's related-work comparators)."""
+
+from repro.search.combined_elimination import combined_elimination
+from repro.search.evaluator import Evaluator, SearchResult
+from repro.search.genetic import genetic_search
+from repro.search.hillclimb import hill_climb
+from repro.search.random_search import random_search
+
+__all__ = [
+    "Evaluator",
+    "SearchResult",
+    "combined_elimination",
+    "genetic_search",
+    "hill_climb",
+    "random_search",
+]

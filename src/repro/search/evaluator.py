@@ -1,0 +1,67 @@
+"""Evaluation oracle shared by the iterative-compilation baselines.
+
+One *evaluation* is one compile-and-run of a flag setting on a fixed
+program/machine pair — the costly unit the paper counts (its "Best" uses
+1000 of them; its model uses one profile run).  The evaluator memoises, so
+revisiting a setting is free, matching how an iterative-compilation driver
+would cache results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.flags import FlagSetting, o3_setting
+from repro.compiler.ir import Program
+from repro.compiler.pipeline import Compiler
+from repro.machine.params import MicroArch
+from repro.sim.analytic import simulate_analytic
+
+
+@dataclass
+class Evaluator:
+    """Runtime oracle for one (program, machine) pair."""
+
+    program: Program
+    machine: MicroArch
+    compiler: Compiler = field(default_factory=Compiler)
+
+    def __post_init__(self) -> None:
+        self._cache: dict[FlagSetting, float] = {}
+        self.evaluations = 0
+
+    def evaluate(self, setting: FlagSetting) -> float:
+        """Runtime in seconds of the program compiled with ``setting``."""
+        canonical = setting.canonical()
+        if canonical in self._cache:
+            return self._cache[canonical]
+        binary = self.compiler.compile(self.program, canonical)
+        runtime = simulate_analytic(binary, self.machine).seconds
+        self._cache[canonical] = runtime
+        self.evaluations += 1
+        return runtime
+
+    def o3_runtime(self) -> float:
+        return self.evaluate(o3_setting())
+
+    def speedup(self, setting: FlagSetting) -> float:
+        return self.o3_runtime() / self.evaluate(setting)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    best_setting: FlagSetting
+    best_runtime: float
+    evaluations: int
+    #: best runtime seen after each evaluation (the convergence curve used
+    #: by the §5.3 iterations-to-match analysis).
+    trajectory: list[float] = field(default_factory=list)
+
+    def evaluations_to_reach(self, target_runtime: float) -> int | None:
+        """First evaluation index (1-based) reaching ``target_runtime``."""
+        for index, runtime in enumerate(self.trajectory, start=1):
+            if runtime <= target_runtime:
+                return index
+        return None

@@ -1,0 +1,64 @@
+"""Multi-restart hill climbing over the flag space (Almagor et al. [2]).
+
+From a random starting point, repeatedly move to the best Hamming-distance-1
+neighbour until no neighbour improves; restart until the evaluation budget
+is spent.  The related-work baseline the paper cites for searching
+compilation sequences.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.compiler.flags import DEFAULT_SPACE, FlagSpace
+from repro.search.evaluator import Evaluator, SearchResult
+
+
+def hill_climb(
+    evaluator: Evaluator,
+    budget: int,
+    seed: int,
+    space: FlagSpace = DEFAULT_SPACE,
+) -> SearchResult:
+    """Steepest-ascent hill climbing with random restarts."""
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1: {budget}")
+    rng = random.Random(seed)
+    trajectory: list[float] = []
+    best_setting = None
+    best_runtime = float("inf")
+
+    def record(runtime: float) -> None:
+        nonlocal best_runtime
+        trajectory.append(min(trajectory[-1], runtime) if trajectory else runtime)
+
+    spent = 0
+    while spent < budget:
+        current = space.sample(rng)
+        current_runtime = evaluator.evaluate(current)
+        spent += 1
+        record(current_runtime)
+        if current_runtime < best_runtime:
+            best_runtime, best_setting = current_runtime, current
+        improved = True
+        while improved and spent < budget:
+            improved = False
+            for neighbour in space.neighbours(current):
+                if spent >= budget:
+                    break
+                runtime = evaluator.evaluate(neighbour)
+                spent += 1
+                record(runtime)
+                if runtime < current_runtime:
+                    current, current_runtime = neighbour, runtime
+                    improved = True
+                    if runtime < best_runtime:
+                        best_runtime, best_setting = runtime, neighbour
+                    break  # first-improvement step, then re-scan
+
+    return SearchResult(
+        best_setting=best_setting,
+        best_runtime=best_runtime,
+        evaluations=spent,
+        trajectory=trajectory,
+    )

@@ -1,0 +1,38 @@
+"""Uniform-random iterative compilation (§4.3).
+
+The paper's "Best" is the best of 1000 uniform-random settings; its §5.3
+comparison asks how many random evaluations match the model's single
+prediction (≈50 on average).  Both come from this driver.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.flags import DEFAULT_SPACE, FlagSpace
+from repro.search.evaluator import Evaluator, SearchResult
+
+
+def random_search(
+    evaluator: Evaluator,
+    budget: int,
+    seed: int,
+    space: FlagSpace = DEFAULT_SPACE,
+) -> SearchResult:
+    """Evaluate ``budget`` uniform-random settings; track the running best."""
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1: {budget}")
+    settings = space.sample_many(budget, seed)
+    best_setting = settings[0]
+    best_runtime = float("inf")
+    trajectory: list[float] = []
+    for setting in settings:
+        runtime = evaluator.evaluate(setting)
+        if runtime < best_runtime:
+            best_runtime = runtime
+            best_setting = setting
+        trajectory.append(best_runtime)
+    return SearchResult(
+        best_setting=best_setting,
+        best_runtime=best_runtime,
+        evaluations=len(settings),
+        trajectory=trajectory,
+    )

@@ -1,0 +1,34 @@
+"""The Xtrem stand-in: XScale-style timing simulation in two tiers."""
+
+from repro.sim.analytic import (
+    CycleBreakdown,
+    SimulationResult,
+    access_dcache_misses,
+    effective_capacity,
+    loop_icache_misses,
+    simulate_analytic,
+)
+from repro.sim.branch import BimodalPredictor, BranchTargetBuffer, BranchUnit
+from repro.sim.cache import CacheStats, SetAssociativeCache
+from repro.sim.counters import COUNTER_NAMES, PerfCounters
+from repro.sim.executor import simulate
+from repro.sim.trace import TraceResult, simulate_trace
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "COUNTER_NAMES",
+    "CacheStats",
+    "CycleBreakdown",
+    "PerfCounters",
+    "SetAssociativeCache",
+    "SimulationResult",
+    "TraceResult",
+    "access_dcache_misses",
+    "effective_capacity",
+    "loop_icache_misses",
+    "simulate",
+    "simulate_analytic",
+    "simulate_trace",
+]

@@ -1,0 +1,357 @@
+"""The analytic timing model: (compiled binary, microarchitecture) → cycles.
+
+This is the fast tier of the Xtrem stand-in.  It computes a cycle count as
+the sum of well-understood components of an in-order XScale-style pipeline,
+each derived from the binary's summaries and the machine's Cacti-modelled
+latencies.  The decomposition is the standard first-order model of
+Karkhanis & Smith (cited by the paper for its counter choice):
+
+``cycles = issue + dependence stalls + icache misses + fetch bubbles
+           + branch mispredictions + dcache misses + call overhead``
+
+All components are deterministic, smooth in the design-space parameters,
+and — critically for this reproduction — sensitive to exactly the binary
+properties the optimisation flags change: code footprint per loop
+(unrolling, inlining, unswitching, alignment, crossjumping), dependence
+spacing (scheduling), spill traffic (scheduling × register allocation),
+branch counts and taken fractions (unrolling, reordering, threading) and
+memory streams (load/store motion, LAS).
+
+The trace-tier simulator (:mod:`repro.sim.trace`) validates the cache and
+BTB capacity models against true-LRU reference simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.binary import CompiledBinary, LoopSummary, RegionAccess
+from repro.machine.cacti import dcache_timing, icache_timing, read_energy_nj
+from repro.machine.params import MicroArch
+from repro.sim.counters import PerfCounters
+
+#: Producer latencies by dependence kind; ``load`` is machine-dependent and
+#: resolved from the Cacti model at simulation time.
+FIXED_LATENCY = {"alu": 1.0, "mac": 3.0, "shift": 1.0, "carried": 4.0}
+
+#: Fraction of a cache lost to conflicts at associativity ``a``: the
+#: effective capacity is ``size * (1 - CONFLICT_LOSS / a)``.
+CONFLICT_LOSS = 0.5
+
+#: A loop ramps from zero to full thrashing as its footprint exceeds the
+#: effective capacity by this fraction (non-uniform intra-loop reuse makes
+#: the transition gradual rather than the sharp LRU-cyclic cliff).
+THRASH_RAMP = 1.0
+
+#: Temporal-locality credit for table lookups (indices revisit hot entries).
+TABLE_LOCALITY = 0.5
+
+#: Write-buffer absorption: stores pay this fraction of the miss penalty.
+STORE_MISS_FACTOR = 0.3
+
+#: Per-entry instruction-cache leakage: re-entering a loop refetches this
+#: fraction of its lines (other code evicted some of them in between).
+REENTRY_FRACTION = 0.05
+
+#: Sequential code fetch misses overlap (critical-word-first plus burst
+#: transfer of consecutive lines), so an instruction miss costs this
+#: fraction of the full memory round-trip on average.
+SEQUENTIAL_FETCH_OVERLAP = 0.55
+
+#: Fixed pipeline overhead of a call/return beyond its branch behaviour.
+CALL_OVERHEAD_CYCLES = 1.0
+
+#: Branch misprediction pipeline refill depth at the baseline clock.
+MISPREDICT_PENALTY = 4.0
+
+
+@dataclass
+class CycleBreakdown:
+    """Where the cycles went; the sum is the total."""
+
+    issue: float = 0.0
+    dependence_stalls: float = 0.0
+    icache_misses: float = 0.0
+    fetch_bubbles: float = 0.0
+    branch_mispredictions: float = 0.0
+    dcache_misses: float = 0.0
+    call_overhead: float = 0.0
+
+    def total(self) -> float:
+        return (
+            self.issue
+            + self.dependence_stalls
+            + self.icache_misses
+            + self.fetch_bubbles
+            + self.branch_mispredictions
+            + self.dcache_misses
+            + self.call_overhead
+        )
+
+
+@dataclass
+class SimulationResult:
+    """One program execution on one microarchitecture."""
+
+    cycles: float
+    seconds: float
+    counters: PerfCounters
+    breakdown: CycleBreakdown
+    energy_nj: float = 0.0
+    detail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def runtime(self) -> float:
+        """Alias for ``seconds`` (what speedups are computed from)."""
+        return self.seconds
+
+
+def effective_capacity(size_bytes: int, assoc: int) -> float:
+    """Capacity after conflict losses at the given associativity."""
+    return size_bytes * (1.0 - CONFLICT_LOSS / assoc)
+
+
+def loop_icache_misses(
+    loop: LoopSummary,
+    capacity: float,
+    block_bytes: int,
+    parent_resident: bool = False,
+) -> float:
+    """Instruction misses attributable to one loop's cyclic code reuse.
+
+    A loop whose span fits the effective capacity only pays compulsory
+    misses on entry (plus a small re-entry leak — unless it is nested in a
+    parent whose span itself stays resident, in which case re-entries hit);
+    one that exceeds the capacity ramps to cyclic thrashing — with true
+    LRU, a cyclic reference stream longer than the cache misses on every
+    line, which the trace tier confirms.
+    """
+    span = float(loop.code_bytes)
+    lines = span / block_bytes
+    cold = min(loop.entries, 1.0) * lines
+    if not parent_resident:
+        cold += max(loop.entries - 1.0, 0.0) * lines * REENTRY_FRACTION
+    if span <= capacity:
+        return cold
+    thrash_fraction = min(1.0, (span - capacity) / (THRASH_RAMP * capacity))
+    return cold + loop.iterations * thrash_fraction * lines
+
+
+def access_dcache_misses(
+    access: RegionAccess,
+    iterations: float,
+    capacity: float,
+    block_bytes: int,
+) -> float:
+    """Data misses for one aggregated access stream within a loop.
+
+    * ``stream`` regions advance by ``stride`` per iteration: spatial reuse
+      gives ``min(stride/block, 1)`` misses per access while the data is
+      new; once the region wraps, temporal reuse kicks in if it fits.
+    * ``table`` regions are hit with data-dependent indices: miss
+      probability is the fraction of the table not resident, discounted by
+      temporal locality on hot entries.
+    * ``chase`` regions are dependent pointer walks: fully random touches,
+      no locality credit.
+    * ``stack`` (stride 0) accesses revisit a handful of spill slots:
+      compulsory misses only.
+    """
+    count = access.count
+    region = float(access.region_bytes)
+    resident = min(capacity / region, 1.0) if region > 0 else 1.0
+
+    if access.kind == "stack":
+        return min(count, region / block_bytes)
+
+    if access.kind == "stream":
+        if access.stride == 0:
+            # Loop-invariant address: one compulsory miss, then hits.
+            return min(count, 1.0)
+        per_access = min(access.stride / block_bytes, 1.0)
+        swept = iterations * access.stride
+        if swept <= region:
+            # Single pass: every new block is a compulsory miss.
+            return count * per_access
+        # Wrapping stream: one compulsory pass over the region, then
+        # repeated passes hit for the resident fraction.
+        return region / block_bytes + count * per_access * (1.0 - resident)
+
+    if access.kind == "table":
+        return count * (1.0 - resident) * TABLE_LOCALITY
+
+    if access.kind == "chase":
+        return count * (1.0 - resident)
+
+    raise ValueError(f"unknown region kind {access.kind!r}")
+
+
+def simulate_analytic(binary: CompiledBinary, machine: MicroArch) -> SimulationResult:
+    """Run the analytic model; see the module docstring for the equations."""
+    ic_timing = icache_timing(machine)
+    dc_timing = dcache_timing(machine)
+    load_latency = 1.0 + dc_timing.hit_cycles
+    width = machine.issue_width
+
+    breakdown = CycleBreakdown()
+
+    # --- issue -------------------------------------------------------------
+    if width == 1:
+        breakdown.issue = binary.dyn_insns
+    else:
+        # Dual issue bounded by the single memory port and one control
+        # transfer per fetch group.
+        breakdown.issue = max(
+            binary.dyn_insns / 2.0, binary.dyn_memory, binary.dyn_branches
+        )
+
+    # --- dependence stalls ---------------------------------------------------
+    stalls = 0.0
+    for (kind, distance), count in binary.stall_profile.items():
+        latency = (
+            load_latency if kind == "load" else FIXED_LATENCY.get(kind, 1.0)
+        )
+        gap = distance / width
+        if latency > gap:
+            stalls += count * (latency - gap)
+    breakdown.dependence_stalls = stalls
+
+    # --- instruction cache ----------------------------------------------------
+    ic_capacity = effective_capacity(machine.il1_size, machine.il1_assoc)
+    ic_misses = binary.code_bytes / machine.il1_block  # one-time cold footprint
+    span_by_key = {loop.key: loop.code_bytes for loop in binary.loops}
+    for loop in binary.loops:
+        parent_resident = (
+            loop.parent is not None
+            and span_by_key.get(loop.parent, 0) <= ic_capacity
+        )
+        ic_misses += loop_icache_misses(
+            loop, ic_capacity, machine.il1_block, parent_resident
+        )
+    breakdown.icache_misses = (
+        ic_misses * ic_timing.miss_penalty_cycles * SEQUENTIAL_FETCH_OVERLAP
+    )
+
+    # --- fetch bubbles on taken branches ---------------------------------------
+    redirect = float(ic_timing.hit_cycles)
+    bubble = redirect - 0.5 * binary.aligned_taken_fraction
+    breakdown.fetch_bubbles = binary.dyn_taken * max(bubble, 0.0)
+
+    # --- branch prediction ------------------------------------------------------
+    btb_utilisation = 1.0 - 0.3 / machine.btb_assoc
+    btb_slots = machine.btb_entries * btb_utilisation
+    if binary.branch_sites > btb_slots:
+        btb_miss_rate = 1.0 - btb_slots / binary.branch_sites
+    else:
+        btb_miss_rate = 0.0
+    mispredict_rate = min(
+        1.0, (1.0 - binary.mean_predictability) + 0.5 * btb_miss_rate
+    )
+    penalty = MISPREDICT_PENALTY + (ic_timing.hit_cycles - 1.0)
+    breakdown.branch_mispredictions = (
+        binary.dyn_branches * mispredict_rate * penalty
+        + binary.dyn_taken * btb_miss_rate * 2.0
+    )
+
+    # --- data cache ----------------------------------------------------------
+    dc_capacity = effective_capacity(machine.dl1_size, machine.dl1_assoc)
+    dc_load_misses = 0.0
+    dc_store_misses = 0.0
+    for loop in binary.loops:
+        for access in loop.accesses:
+            misses = access_dcache_misses(
+                access, loop.iterations, dc_capacity, machine.dl1_block
+            )
+            if access.is_store:
+                dc_store_misses += misses
+            else:
+                dc_load_misses += misses
+    for access in binary.flat_accesses:
+        misses = access_dcache_misses(access, 1.0, dc_capacity, machine.dl1_block)
+        if access.is_store:
+            dc_store_misses += misses
+        else:
+            dc_load_misses += misses
+    breakdown.dcache_misses = dc_timing.miss_penalty_cycles * (
+        dc_load_misses + STORE_MISS_FACTOR * dc_store_misses
+    )
+
+    # --- calls -------------------------------------------------------------
+    breakdown.call_overhead = binary.dyn_calls * CALL_OVERHEAD_CYCLES
+
+    cycles = max(breakdown.total(), 1.0)
+    seconds = cycles * machine.cycle_ns * 1e-9
+
+    counters = _counters(
+        binary,
+        machine,
+        cycles,
+        ic_misses=ic_misses,
+        dc_misses=dc_load_misses + dc_store_misses,
+        mispredict_rate=mispredict_rate,
+    )
+    energy = _energy(binary, machine, ic_misses, dc_load_misses + dc_store_misses)
+
+    return SimulationResult(
+        cycles=cycles,
+        seconds=seconds,
+        counters=counters,
+        breakdown=breakdown,
+        energy_nj=energy,
+        detail={
+            "ic_misses": ic_misses,
+            "dc_misses": dc_load_misses + dc_store_misses,
+            "btb_miss_rate": btb_miss_rate,
+            "mispredict_rate": mispredict_rate,
+            "load_latency": load_latency,
+        },
+    )
+
+
+def _counters(
+    binary: CompiledBinary,
+    machine: MicroArch,
+    cycles: float,
+    ic_misses: float,
+    dc_misses: float,
+    mispredict_rate: float,
+) -> PerfCounters:
+    dyn = max(binary.dyn_insns, 1.0)
+    # Squashed wrong-path fetches inflate fetch/decode traffic.
+    squashed = binary.dyn_branches * mispredict_rate * MISPREDICT_PENALTY
+    fetches = dyn + squashed
+    memory_ops = max(binary.dyn_memory, 1.0)
+    return PerfCounters(
+        ipc=dyn / cycles,
+        dec_acc_rate=fetches / cycles,
+        reg_acc_rate=binary.reg_reads / cycles,
+        bpred_acc_rate=binary.dyn_branches / cycles,
+        icache_acc_rate=fetches / cycles,
+        icache_miss_rate=min(ic_misses / fetches, 1.0),
+        dcache_acc_rate=binary.dyn_memory / cycles,
+        dcache_miss_rate=min(dc_misses / memory_ops, 1.0),
+        alu_usage=binary.mix["alu"] / dyn,
+        mac_usage=binary.mix["mac"] / dyn,
+        shift_usage=binary.mix["shift"] / dyn,
+    )
+
+
+def _energy(
+    binary: CompiledBinary,
+    machine: MicroArch,
+    ic_misses: float,
+    dc_misses: float,
+) -> float:
+    """First-order dynamic energy (nJ): array reads plus memory traffic."""
+    ic_energy = read_energy_nj(
+        machine.il1_size, machine.il1_assoc, machine.il1_block
+    )
+    dc_energy = read_energy_nj(
+        machine.dl1_size, machine.dl1_assoc, machine.dl1_block
+    )
+    memory_energy_per_miss = 5.0
+    core_energy_per_insn = 0.15
+    return (
+        binary.dyn_insns * (ic_energy + core_energy_per_insn)
+        + binary.dyn_memory * dc_energy
+        + (ic_misses + dc_misses) * memory_energy_per_miss
+    )

@@ -1,0 +1,93 @@
+"""Branch target buffer and bimodal direction predictor (trace tier).
+
+The XScale couples a BTB with a simple bimodal predictor; a branch whose
+target misses in the BTB cannot redirect fetch early even when the
+direction guess is right.  The analytic executor models BTB behaviour by
+capacity; this module is the reference implementation used to validate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchStats:
+    lookups: int = 0
+    btb_misses: int = 0
+    mispredictions: int = 0
+
+    @property
+    def btb_miss_rate(self) -> float:
+        return self.btb_misses / self.lookups if self.lookups else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.lookups if self.lookups else 0.0
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement."""
+
+    def __init__(self, entries: int, assoc: int):
+        if entries % assoc != 0:
+            raise ValueError(f"entries {entries} not divisible by assoc {assoc}")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    def lookup(self, pc: int) -> bool:
+        """Probe and allocate; returns True on hit."""
+        index = pc % self.num_sets
+        tag = pc // self.num_sets
+        ways = self._sets[index]
+        try:
+            position = ways.index(tag)
+        except ValueError:
+            ways.insert(0, tag)
+            if len(ways) > self.assoc:
+                ways.pop()
+            return False
+        if position != 0:
+            ways.pop(position)
+            ways.insert(0, tag)
+        return True
+
+
+class BimodalPredictor:
+    """Two-bit saturating counters indexed by pc."""
+
+    def __init__(self, entries: int = 512):
+        self.entries = entries
+        self._counters = [2] * entries  # weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[pc % self.entries] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = pc % self.entries
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+
+
+class BranchUnit:
+    """BTB + bimodal predictor with combined statistics."""
+
+    def __init__(self, btb_entries: int, btb_assoc: int):
+        self.btb = BranchTargetBuffer(btb_entries, btb_assoc)
+        self.predictor = BimodalPredictor()
+        self.stats = BranchStats()
+
+    def execute(self, pc: int, taken: bool) -> None:
+        self.stats.lookups += 1
+        predicted_taken = self.predictor.predict(pc)
+        btb_hit = self.btb.lookup(pc)
+        if not btb_hit and taken:
+            self.stats.btb_misses += 1
+        if predicted_taken != taken or (taken and not btb_hit):
+            self.stats.mispredictions += 1
+        self.predictor.update(pc, taken)

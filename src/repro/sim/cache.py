@@ -1,0 +1,68 @@
+"""A set-associative, true-LRU cache simulator (the trace-tier reference).
+
+Used by :mod:`repro.sim.trace` to validate the analytic executor's miss-rate
+models, and available directly for detailed studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """True-LRU set-associative cache over byte addresses."""
+
+    def __init__(self, size_bytes: int, assoc: int, block_bytes: int):
+        if size_bytes % (assoc * block_bytes) != 0:
+            raise ValueError(
+                f"size {size_bytes} not divisible by assoc*block "
+                f"({assoc}*{block_bytes})"
+            )
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_bytes = block_bytes
+        self.num_sets = size_bytes // (assoc * block_bytes)
+        # Each set is a list of tags in LRU order (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on hit."""
+        block = address // self.block_bytes
+        index = block % self.num_sets
+        tag = block // self.num_sets
+        ways = self._sets[index]
+        self.stats.accesses += 1
+        try:
+            position = ways.index(tag)
+        except ValueError:
+            self.stats.misses += 1
+            ways.insert(0, tag)
+            if len(ways) > self.assoc:
+                ways.pop()
+            return False
+        if position != 0:
+            ways.pop(position)
+            ways.insert(0, tag)
+        return True
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.reset_stats()
+
+    def occupancy(self) -> int:
+        """Blocks currently resident."""
+        return sum(len(ways) for ways in self._sets)

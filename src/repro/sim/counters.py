@@ -1,0 +1,68 @@
+"""The 11 performance counters of the paper's Table 1.
+
+Counter naming and ordering follow the paper's Figure 9 x-axis so that
+feature matrices line up with the Hinton diagrams:
+
+====================  =======================================================
+``ipc``               instructions committed per cycle
+``dec_acc_rate``      decoder accesses per cycle (incl. squashed fetches)
+``reg_acc_rate``      register-file read accesses per cycle
+``bpred_acc_rate``    branch-predictor lookups per cycle
+``icache_acc_rate``   instruction-cache accesses per cycle
+``icache_miss_rate``  instruction-cache misses per access
+``dcache_acc_rate``   data-cache accesses per cycle
+``dcache_miss_rate``  data-cache misses per access
+``alu_usage``         fraction of instructions using the ALU
+``mac_usage``         fraction using the multiply-accumulate unit
+``shift_usage``       fraction using the barrel shifter
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+COUNTER_NAMES: tuple[str, ...] = (
+    "ipc",
+    "dec_acc_rate",
+    "reg_acc_rate",
+    "bpred_acc_rate",
+    "icache_acc_rate",
+    "icache_miss_rate",
+    "dcache_acc_rate",
+    "dcache_miss_rate",
+    "alu_usage",
+    "mac_usage",
+    "shift_usage",
+)
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """One run's hardware counters (the paper's ``c`` vector)."""
+
+    ipc: float
+    dec_acc_rate: float
+    reg_acc_rate: float
+    bpred_acc_rate: float
+    icache_acc_rate: float
+    icache_miss_rate: float
+    dcache_acc_rate: float
+    dcache_miss_rate: float
+    alu_usage: float
+    mac_usage: float
+    shift_usage: float
+
+    def vector(self) -> tuple[float, ...]:
+        """The counters in Table 1 / Figure 9 order."""
+        return tuple(getattr(self, name) for name in COUNTER_NAMES)
+
+    def __post_init__(self) -> None:
+        for name in ("icache_miss_rate", "dcache_miss_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {value}")
+        for name in ("alu_usage", "mac_usage", "shift_usage"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {value}")

@@ -1,0 +1,44 @@
+"""Unified simulation entry point.
+
+``simulate`` accepts either a :class:`~repro.compiler.binary.CompiledBinary`
+or a raw :class:`~repro.compiler.ir.Program` (compiled at -O3 with a shared
+compiler) and runs the analytic executor, mirroring the paper's single
+profile run of the new program on the new microarchitecture.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.binary import CompiledBinary
+from repro.compiler.flags import FlagSetting, o3_setting
+from repro.compiler.ir import Program
+from repro.compiler.pipeline import Compiler
+from repro.machine.params import MicroArch
+from repro.sim.analytic import SimulationResult, simulate_analytic
+
+_SHARED_COMPILER = Compiler()
+
+
+def simulate(
+    target: CompiledBinary | Program,
+    machine: MicroArch,
+    setting: FlagSetting | None = None,
+    compiler: Compiler | None = None,
+) -> SimulationResult:
+    """Simulate a binary (or compile a program first) on ``machine``.
+
+    Args:
+        target: a compiled binary, or a program to compile.
+        machine: the microarchitecture configuration to run on.
+        setting: flag setting used when ``target`` is a program
+            (default: -O3, the paper's profiling configuration).
+        compiler: compiler to use for programs (default: a shared,
+            memoising instance).
+    """
+    if isinstance(target, Program):
+        active_compiler = compiler if compiler is not None else _SHARED_COMPILER
+        binary = active_compiler.compile(
+            target, setting if setting is not None else o3_setting()
+        )
+    else:
+        binary = target
+    return simulate_analytic(binary, machine)

@@ -1,0 +1,142 @@
+"""Trace-driven reference simulation (the slow, faithful Xtrem tier).
+
+From a :class:`~repro.compiler.binary.CompiledBinary` this module
+regenerates representative address and branch streams — loop code walks,
+strided data streams, table lookups with a hot set, dependent pointer
+chases — and drives the true-LRU cache and BTB simulators with them.
+
+Its purpose is validation: the analytic executor's capacity/thrash formulas
+must reproduce what these reference structures actually do.  Iteration
+counts are scaled down (preserving footprints and strides, which determine
+miss *rates*) so traces stay affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.binary import CompiledBinary
+from repro.machine.params import MicroArch
+from repro.sim.branch import BranchUnit
+from repro.sim.cache import SetAssociativeCache
+
+
+@dataclass
+class TraceResult:
+    """Measured miss rates from reference simulation."""
+
+    icache_accesses: int
+    icache_misses: int
+    dcache_accesses: int
+    dcache_misses: int
+    btb_lookups: int
+    btb_misses: int
+
+    @property
+    def icache_miss_rate(self) -> float:
+        return self.icache_misses / self.icache_accesses if self.icache_accesses else 0.0
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        return self.dcache_misses / self.dcache_accesses if self.dcache_accesses else 0.0
+
+    @property
+    def btb_miss_rate(self) -> float:
+        return self.btb_misses / self.btb_lookups if self.btb_lookups else 0.0
+
+
+class _Lcg:
+    """Deterministic 32-bit linear congruential generator (no global RNG)."""
+
+    def __init__(self, seed: int):
+        self.state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+    def next(self) -> int:
+        self.state = (self.state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def below(self, bound: int) -> int:
+        return self.next() % max(bound, 1)
+
+
+def _scaled_iterations(iterations: float, max_iterations: int) -> int:
+    return int(min(max(iterations, 1.0), max_iterations))
+
+
+def simulate_trace(
+    binary: CompiledBinary,
+    machine: MicroArch,
+    max_loop_iterations: int = 256,
+    seed: int = 7,
+) -> TraceResult:
+    """Replay representative reference streams through real simulators."""
+    icache = SetAssociativeCache(
+        machine.il1_size, machine.il1_assoc, machine.il1_block
+    )
+    dcache = SetAssociativeCache(
+        machine.dl1_size, machine.dl1_assoc, machine.dl1_block
+    )
+    branches = BranchUnit(machine.btb_entries, machine.btb_assoc)
+    rng = _Lcg(seed)
+
+    region_base: dict[str, int] = {}
+    next_base = 1 << 20  # data segment, disjoint from code
+    for name, region in sorted(binary.regions.items()):
+        region_base[name] = next_base
+        next_base += ((region.size_bytes + 4095) // 4096) * 4096 + 4096
+
+    code_base = 0x1000
+    for loop in sorted(binary.loops, key=lambda item: item.key):
+        iterations = _scaled_iterations(loop.iterations, max_loop_iterations)
+        span = max(loop.code_bytes, machine.il1_block)
+        # Hot data pointers persist across iterations of this loop.
+        stream_offset: dict[int, int] = {}
+        chase_pointer: dict[str, int] = {}
+        for iteration in range(iterations):
+            # Code walk: the loop body is fetched front to back each trip.
+            for offset in range(0, span, machine.il1_block):
+                icache.access(code_base + offset)
+            # Branch at the loop latch (taken while iterating).
+            branches.execute(code_base + span, taken=iteration < iterations - 1)
+            # Data streams.
+            for access_index, access in enumerate(loop.accesses):
+                base = region_base[access.region]
+                per_iteration = max(
+                    1, round(access.count / max(loop.iterations, 1.0))
+                )
+                for repeat in range(per_iteration):
+                    if access.kind == "stream" and access.stride > 0:
+                        position = stream_offset.get(access_index, 0)
+                        address = base + position % max(access.region_bytes, 1)
+                        stream_offset[access_index] = position + access.stride
+                    elif access.kind == "table":
+                        # 50 % of lookups land in a hot eighth of the table.
+                        if rng.below(2) == 0:
+                            address = base + rng.below(
+                                max(access.region_bytes // 8, 1)
+                            )
+                        else:
+                            address = base + rng.below(access.region_bytes)
+                    elif access.kind == "chase":
+                        pointer = chase_pointer.get(
+                            access.region, rng.below(access.region_bytes)
+                        )
+                        address = base + pointer
+                        chase_pointer[access.region] = rng.below(
+                            access.region_bytes
+                        )
+                    else:  # stack / stride-0: revisit one slot
+                        address = base + (access_index * 64) % max(
+                            access.region_bytes, 64
+                        )
+                    dcache.access(address)
+        code_base += ((span + 4095) // 4096) * 4096 + 4096
+
+    return TraceResult(
+        icache_accesses=icache.stats.accesses,
+        icache_misses=icache.stats.misses,
+        dcache_accesses=dcache.stats.accesses,
+        dcache_misses=dcache.stats.misses,
+        btb_lookups=branches.stats.lookups,
+        btb_misses=branches.stats.btb_misses,
+    )

@@ -1,0 +1,141 @@
+"""Shared fixtures: small IR programs, compilers, and tiny experiment data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.flags import o3_setting
+from repro.compiler.ir import (
+    BasicBlock,
+    DataRegion,
+    Function,
+    Instruction,
+    Loop,
+    Opcode,
+    Program,
+)
+from repro.compiler.pipeline import Compiler
+from repro.machine.xscale import xscale
+
+
+def make_instruction(opcode=Opcode.ADD, **kwargs) -> Instruction:
+    return Instruction(opcode=opcode, **kwargs)
+
+
+def simple_loop_program(
+    name: str = "p",
+    body_insns: int = 8,
+    trip_count: float = 100.0,
+    entries: float = 10.0,
+    region_size: int = 64 * 1024,
+) -> Program:
+    """A one-loop program: entry → pre → hdr → body → latch ⤴ → exit.
+
+    The canonical loop shape the generator emits, small enough to reason
+    about in tests.
+    """
+    instructions = [
+        Instruction(opcode=Opcode.ADD, expr=f"{name}.b{i}") for i in range(body_insns)
+    ]
+    instructions.append(
+        Instruction(opcode=Opcode.LOAD, expr=f"{name}.ld", region="data", stride=4)
+    )
+    iterations = trip_count * entries
+
+    blocks = {
+        "entry": BasicBlock(
+            "entry",
+            [Instruction(opcode=Opcode.MOV, expr=f"{name}.e0")],
+            successors=["pre"],
+            exec_count=1.0,
+        ),
+        "pre": BasicBlock(
+            "pre",
+            [Instruction(opcode=Opcode.MOV, expr=f"{name}.p0")],
+            successors=["hdr"],
+            exec_count=entries,
+        ),
+        "hdr": BasicBlock(
+            "hdr",
+            [Instruction(opcode=Opcode.ADD, expr=f"{name}.h0")],
+            successors=["body"],
+            exec_count=iterations,
+            is_loop_header=True,
+        ),
+        "body": BasicBlock(
+            "body",
+            instructions,
+            successors=["latch"],
+            exec_count=iterations,
+        ),
+        "latch": BasicBlock(
+            "latch",
+            [
+                Instruction(opcode=Opcode.CMP, expr=f"{name}.l0"),
+                Instruction(opcode=Opcode.BR),
+            ],
+            successors=["exit", "hdr"],
+            exec_count=iterations,
+            taken_prob=1.0 - 1.0 / trip_count,
+        ),
+        "exit": BasicBlock(
+            "exit",
+            [Instruction(opcode=Opcode.RET)],
+            successors=[],
+            exec_count=entries,
+        ),
+    }
+    function = Function(
+        name="main",
+        blocks=blocks,
+        layout=["entry", "pre", "hdr", "body", "latch", "exit"],
+        loops=[
+            Loop(
+                header="hdr",
+                blocks=["hdr", "body", "latch"],
+                trip_count=trip_count,
+                entries=entries,
+            )
+        ],
+        entry_count=1.0,
+    )
+    program = Program(
+        name=name,
+        functions={"main": function},
+        entry="main",
+        regions={
+            "data": DataRegion("data", region_size, "stream"),
+            "stack": DataRegion("stack", 4096, "stack"),
+        },
+    )
+    program.validate()
+    return program
+
+
+@pytest.fixture
+def loop_program() -> Program:
+    return simple_loop_program()
+
+
+@pytest.fixture
+def compiler() -> Compiler:
+    return Compiler()
+
+
+@pytest.fixture
+def o3():
+    return o3_setting()
+
+
+@pytest.fixture
+def machine():
+    return xscale()
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Session-cached TINY-scale experiment data (no disk cache)."""
+    from repro.experiments.config import TINY
+    from repro.experiments.dataset import load_or_build
+
+    return load_or_build(TINY, use_disk_cache=False)

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestCli:
+    def test_static_experiments_no_dataset(self, capsys):
+        assert cli.main(["table2", "fig3", "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "288,000" in output
+        assert "39" in output
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            cli.main(["table2", "--scale", "galactic"])
+
+    def test_data_experiment_at_tiny_scale(self, tiny_data, capsys, monkeypatch):
+        # tiny_data already populated the in-memory cache; the CLI reuses it.
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/repro-test-cache")
+        assert cli.main(["fig4", "--scale", "tiny", "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "AVERAGE" in output
+
+    def test_all_includes_every_experiment_name(self):
+        assert set(cli.EXPERIMENTS) >= {
+            "table1",
+            "table2",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "headline",
+            "iterations",
+        }

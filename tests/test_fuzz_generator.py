@@ -1,0 +1,190 @@
+"""Property-based fuzzing of the program generator and the cache models."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.flags import o3_setting
+from repro.compiler.ir import Opcode
+from repro.compiler.pipeline import Compiler
+from repro.machine.params import BASE_GRID, MicroArch
+from repro.machine.xscale import xscale
+from repro.programs import AccessSpec, LoopSpec, ProgramSpec, RegionSpec, build_program
+from repro.sim.analytic import simulate_analytic
+
+loop_specs = st.builds(
+    LoopSpec,
+    name=st.just("fuzz"),
+    trip_count=st.floats(min_value=2.0, max_value=10_000.0),
+    dyn_insns=st.floats(min_value=1e4, max_value=1e7),
+    body_blocks=st.integers(min_value=1, max_value=6),
+    block_insns=st.integers(min_value=3, max_value=48),
+    mix_mac=st.floats(min_value=0.0, max_value=0.5),
+    mix_shift=st.floats(min_value=0.0, max_value=0.4),
+    accesses=st.just(
+        (AccessSpec("buf", loads_per_iter=2, stores_per_iter=1, stride=4),)
+    ),
+    carried_dep_latency=st.integers(min_value=0, max_value=3),
+    ilp=st.floats(min_value=1.0, max_value=4.0),
+    predictability=st.floats(min_value=0.5, max_value=1.0),
+    diamonds=st.integers(min_value=0, max_value=2),
+    diamond_taken=st.floats(min_value=0.05, max_value=0.95),
+    invariant_branch=st.booleans(),
+    redundancy_local=st.floats(min_value=0.0, max_value=0.2),
+    redundancy_global=st.floats(min_value=0.0, max_value=0.2),
+    invariant_load_rate=st.floats(min_value=0.0, max_value=0.4),
+    after_store_rate=st.floats(min_value=0.0, max_value=0.4),
+    induction_rate=st.floats(min_value=0.0, max_value=0.1),
+    peephole_rate=st.floats(min_value=0.0, max_value=0.1),
+)
+
+
+def _spec(loop: LoopSpec, seed: int) -> ProgramSpec:
+    return ProgramSpec(
+        name="fuzzprog",
+        seed=seed,
+        regions=(RegionSpec("buf", 64 * 1024, "stream"),),
+        loops=(loop,),
+        cold_insns=40,
+    )
+
+
+class TestGeneratorFuzz:
+    @given(loop=loop_specs, seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=50, deadline=None)
+    def test_generated_programs_always_valid(self, loop, seed):
+        program = build_program(_spec(loop, seed))
+        program.validate()
+        assert program.dynamic_insns > 0
+        function = program.functions["main"]
+        # Canonical loop shape: header first, latch (with back edge) last.
+        emitted = function.loops[0]
+        members = [
+            label for label in function.layout if label in set(emitted.blocks)
+        ]
+        assert function.blocks[members[0]].is_loop_header
+        latch = function.blocks[members[-1]]
+        assert emitted.header in latch.successors
+
+    @given(loop=loop_specs, seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_programs_compile_at_o3(self, loop, seed):
+        program = build_program(_spec(loop, seed))
+        binary = Compiler(cache=False).compile(program, o3_setting())
+        assert binary.dyn_insns > 0
+        assert binary.loops
+
+    @given(loop=loop_specs, seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=25, deadline=None)
+    def test_dynamic_budget_order_of_magnitude(self, loop, seed):
+        program = build_program(_spec(loop, seed))
+        # Generated dynamic size must track the requested budget (loop body
+        # granularity causes bounded overshoot on tiny budgets).
+        assert program.dynamic_insns >= 0.5 * loop.dyn_insns
+        assert program.dynamic_insns <= 3.0 * loop.dyn_insns + 5_000
+
+    @given(loop=loop_specs, seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=25, deadline=None)
+    def test_terminator_structure(self, loop, seed):
+        """Terminator-less blocks must fall through to their layout
+        successor — the invariant the fetch model relies on."""
+        program = build_program(_spec(loop, seed))
+        function = program.functions["main"]
+        for position, label in enumerate(function.layout[:-1]):
+            block = function.blocks[label]
+            if block.terminator is None and block.successors:
+                assert block.successors == [function.layout[position + 1]], label
+
+
+class TestCacheModelProperties:
+    @given(
+        il1=st.sampled_from(BASE_GRID["il1_size"]),
+        assoc=st.sampled_from(BASE_GRID["il1_assoc"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_icache_misses_monotone_in_size(self, il1, assoc):
+        compiler = Compiler()
+        binary = compiler.compile(
+            build_program(
+                _spec(
+                    LoopSpec(
+                        "fuzz",
+                        trip_count=500.0,
+                        dyn_insns=1e6,
+                        body_blocks=6,
+                        block_insns=48,
+                        accesses=(AccessSpec("buf", loads_per_iter=1, stride=4),),
+                    ),
+                    seed=3,
+                )
+            ),
+            o3_setting(),
+        )
+        base = dataclasses.replace(xscale(), il1_size=il1, il1_assoc=assoc)
+        bigger_size = max(BASE_GRID["il1_size"])
+        bigger = dataclasses.replace(base, il1_size=bigger_size)
+        assert (
+            simulate_analytic(binary, bigger).detail["ic_misses"]
+            <= simulate_analytic(binary, base).detail["ic_misses"] + 1e-6
+        )
+
+    @given(dl1=st.sampled_from(BASE_GRID["dl1_size"]))
+    @settings(max_examples=12, deadline=None)
+    def test_dcache_misses_monotone_in_size(self, dl1):
+        compiler = Compiler()
+        spec = _spec(
+            LoopSpec(
+                "fuzz",
+                trip_count=2000.0,
+                dyn_insns=1e6,
+                body_blocks=1,
+                block_insns=8,
+                accesses=(AccessSpec("buf", loads_per_iter=3, stride=8),),
+            ),
+            seed=4,
+        )
+        spec = dataclasses.replace(
+            spec, regions=(RegionSpec("buf", 1 << 20, "stream"),)
+        )
+        binary = compiler.compile(build_program(spec), o3_setting())
+        base = dataclasses.replace(xscale(), dl1_size=dl1)
+        biggest = dataclasses.replace(base, dl1_size=max(BASE_GRID["dl1_size"]))
+        assert (
+            simulate_analytic(binary, biggest).detail["dc_misses"]
+            <= simulate_analytic(binary, base).detail["dc_misses"] + 1e-6
+        )
+
+    @given(
+        entries=st.sampled_from(BASE_GRID["btb_entries"]),
+        assoc=st.sampled_from(BASE_GRID["btb_assoc"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_btb_miss_rate_monotone_in_entries(self, entries, assoc):
+        compiler = Compiler()
+        binary = compiler.compile(
+            build_program(
+                _spec(
+                    LoopSpec(
+                        "fuzz",
+                        trip_count=100.0,
+                        dyn_insns=1e6,
+                        body_blocks=4,
+                        block_insns=10,
+                        diamonds=2,
+                        accesses=(AccessSpec("buf", loads_per_iter=1, stride=4),),
+                    ),
+                    seed=5,
+                )
+            ),
+            o3_setting(),
+        )
+        base = dataclasses.replace(
+            xscale(), btb_entries=entries, btb_assoc=assoc
+        )
+        biggest = dataclasses.replace(base, btb_entries=2048)
+        assert (
+            simulate_analytic(binary, biggest).detail["btb_miss_rate"]
+            <= simulate_analytic(binary, base).detail["btb_miss_rate"] + 1e-9
+        )

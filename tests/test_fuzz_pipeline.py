@@ -1,0 +1,103 @@
+"""Property-based fuzzing of the whole compile pipeline.
+
+For arbitrary points of the 39-dimensional flag space, compilation must
+preserve the structural and semantic invariants the simulator depends on.
+These are the deepest invariants in the repository: every pass interacts
+with every other here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.flags import DEFAULT_SPACE, FlagSetting
+from repro.compiler.pipeline import Compiler
+from repro.machine.xscale import xscale
+from repro.programs import mibench_program
+from repro.sim.analytic import simulate_analytic
+
+#: Small, structurally diverse programs keep each example fast.
+FUZZ_PROGRAMS = ("search", "tiffdither", "qsort", "susan_e")
+
+
+def _setting_from_seed(seed: int) -> FlagSetting:
+    return DEFAULT_SPACE.sample_many(1, seed=seed)[0]
+
+
+class TestPipelineFuzz:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        name=st.sampled_from(FUZZ_PROGRAMS),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compile_preserves_invariants(self, seed, name):
+        setting = _setting_from_seed(seed)
+        compiler = Compiler(cache=False)
+        binary = compiler.compile(mibench_program(name), setting)
+
+        # Work is conserved within sane bounds: passes may only shrink
+        # dynamic work moderately (eliminations) or grow it moderately
+        # (spill code); nothing may explode or vanish.
+        baseline = mibench_program(name).dynamic_insns
+        assert 0.4 * baseline < binary.dyn_insns < 1.8 * baseline
+
+        assert binary.code_bytes > 0
+        assert binary.hot_code_bytes <= binary.code_bytes
+        assert sum(binary.mix.values()) == pytest.approx(binary.dyn_insns)
+        assert binary.dyn_taken <= binary.dyn_branches + 1e-6
+        assert 0.0 <= binary.aligned_taken_fraction <= 1.0
+        assert binary.branch_sites >= 1
+        assert all(count > 0 for count in binary.stall_profile.values())
+        assert binary.loops, "hot loops must survive optimisation"
+        for loop in binary.loops:
+            assert loop.iterations > 0
+            assert loop.code_bytes > 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_compile_deterministic_across_instances(self, seed):
+        setting = _setting_from_seed(seed)
+        program = mibench_program("search")
+        one = Compiler(cache=False).compile(program, setting)
+        two = Compiler(cache=False).compile(program, setting)
+        assert one.code_bytes == two.code_bytes
+        assert one.dyn_insns == pytest.approx(two.dyn_insns)
+        assert one.dyn_branches == pytest.approx(two.dyn_branches)
+        assert one.stall_profile == two.stall_profile
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_always_well_formed(self, seed):
+        setting = _setting_from_seed(seed)
+        binary = Compiler(cache=False).compile(
+            mibench_program("tiffdither"), setting
+        )
+        result = simulate_analytic(binary, xscale())
+        assert result.cycles >= binary.dyn_insns * 0.4
+        assert result.seconds > 0
+        assert result.cycles == pytest.approx(result.breakdown.total())
+        counters = result.counters
+        assert 0.0 < counters.ipc <= 2.0
+        assert 0.0 <= counters.icache_miss_rate <= 1.0
+        assert 0.0 <= counters.dcache_miss_rate <= 1.0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        name=st.sampled_from(FUZZ_PROGRAMS),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_speedup_over_worst_bounded(self, seed, name):
+        """No flag setting may be catastrophically wrong on the reference
+        machine (the paper's worst case across the whole space is ~5x)."""
+        from repro.compiler.flags import o3_setting
+
+        setting = _setting_from_seed(seed)
+        compiler = Compiler(cache=False)
+        program = mibench_program(name)
+        baseline = simulate_analytic(
+            compiler.compile(program, o3_setting()), xscale()
+        ).seconds
+        candidate = simulate_analytic(
+            compiler.compile(program, setting), xscale()
+        ).seconds
+        assert 0.15 < baseline / candidate < 6.0

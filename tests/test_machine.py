@@ -1,0 +1,191 @@
+"""Tests for the microarchitecture space and the Cacti model."""
+
+import math
+
+import pytest
+
+from repro.machine.cacti import (
+    access_time_ns,
+    cache_timing,
+    dcache_timing,
+    icache_timing,
+    load_use_latency,
+    read_energy_nj,
+)
+from repro.machine.params import (
+    BASE_GRID,
+    DESCRIPTOR_NAMES,
+    EXTENDED_DESCRIPTOR_NAMES,
+    MicroArch,
+    MicroArchSpace,
+)
+from repro.machine.xscale import (
+    xscale,
+    xscale_small_both_caches,
+    xscale_small_icache,
+)
+
+
+class TestGrids:
+    def test_base_space_is_exactly_288000(self):
+        assert MicroArchSpace().size() == 288_000
+
+    def test_extended_space_is_ten_times_larger(self):
+        assert MicroArchSpace(extended=True).size() == 2_880_000
+
+    def test_grid_values_match_table2(self):
+        assert BASE_GRID["il1_size"] == (4096, 8192, 16384, 32768, 65536, 131072)
+        assert BASE_GRID["il1_assoc"] == (4, 8, 16, 32, 64)
+        assert BASE_GRID["il1_block"] == (8, 16, 32, 64)
+        assert BASE_GRID["btb_entries"] == (128, 256, 512, 1024, 2048)
+        assert BASE_GRID["btb_assoc"] == (1, 2, 4, 8)
+
+    def test_xscale_matches_table2_column(self):
+        machine = xscale()
+        assert machine.il1_size == 32 * 1024
+        assert machine.il1_assoc == 32
+        assert machine.il1_block == 32
+        assert machine.dl1_size == 32 * 1024
+        assert machine.btb_entries == 512
+        assert machine.btb_assoc == 1
+        assert machine.frequency_mhz == 400
+        assert machine.issue_width == 1
+
+    def test_figure1_variants(self):
+        small_i = xscale_small_icache()
+        assert small_i.il1_size == 4 * 1024
+        assert small_i.dl1_size == 32 * 1024
+        small_both = xscale_small_both_caches()
+        assert small_both.il1_size == 4 * 1024
+        assert small_both.dl1_size == 4 * 1024
+
+    def test_off_grid_value_rejected(self):
+        with pytest.raises(ValueError):
+            MicroArch(
+                il1_size=5000,
+                il1_assoc=4,
+                il1_block=32,
+                dl1_size=32768,
+                dl1_assoc=4,
+                dl1_block=32,
+                btb_entries=512,
+                btb_assoc=1,
+            )
+
+    def test_derived_set_counts(self):
+        machine = xscale()
+        assert machine.il1_sets == 32768 // (32 * 32)
+        assert machine.btb_sets == 512
+
+
+class TestSampling:
+    def test_sample_deterministic(self):
+        space = MicroArchSpace()
+        assert space.sample(20, seed=5) == space.sample(20, seed=5)
+
+    def test_sample_distinct(self):
+        machines = MicroArchSpace().sample(50, seed=1)
+        assert len(set(machines)) == 50
+
+    def test_sample_two_hundred_like_paper(self):
+        machines = MicroArchSpace().sample(200, seed=42)
+        assert len(machines) == 200
+        # All parameters exercised somewhere in the sample.
+        for name, values in BASE_GRID.items():
+            seen = {getattr(machine, name) for machine in machines}
+            assert len(seen) >= 3, f"{name} barely sampled"
+
+    def test_oversampling_rejected(self):
+        space = MicroArchSpace()
+        with pytest.raises(ValueError):
+            space.sample(space.size() + 1, seed=0)
+
+    def test_neighbours_differ_in_one_parameter(self):
+        machine = xscale()
+        for neighbour in MicroArchSpace().neighbours(machine):
+            differences = sum(
+                1
+                for name in BASE_GRID
+                if getattr(neighbour, name) != getattr(machine, name)
+            )
+            assert differences == 1
+
+
+class TestDescriptors:
+    def test_base_descriptor_length(self):
+        assert len(xscale().descriptor()) == len(DESCRIPTOR_NAMES) == 8
+
+    def test_extended_descriptor_length(self):
+        assert len(xscale().descriptor(extended=True)) == len(
+            EXTENDED_DESCRIPTOR_NAMES
+        ) == 10
+
+    def test_descriptor_is_log2_scaled(self):
+        machine = xscale()
+        descriptor = machine.descriptor()
+        assert descriptor[2] == pytest.approx(math.log2(32 * 1024))  # i_size
+
+    def test_label_readable(self):
+        assert xscale().label() == "i32K.32.32_d32K.32.32_b512.1_400x1"
+
+
+class TestCactiModel:
+    def test_access_time_monotone_in_size(self):
+        small = access_time_ns(4096, 4, 32)
+        large = access_time_ns(131072, 4, 32)
+        assert large > small
+
+    def test_access_time_monotone_in_assoc(self):
+        low = access_time_ns(32768, 4, 32)
+        high = access_time_ns(32768, 64, 32)
+        assert high > low
+
+    def test_energy_monotone_in_size_and_assoc(self):
+        assert read_energy_nj(131072, 4, 32) > read_energy_nj(4096, 4, 32)
+        assert read_energy_nj(32768, 64, 32) > read_energy_nj(32768, 4, 32)
+
+    def test_xscale_load_use_latency_is_three(self):
+        assert load_use_latency(xscale()) == 3
+
+    def test_small_fast_cache_lower_latency(self):
+        small = MicroArch(
+            il1_size=4096,
+            il1_assoc=4,
+            il1_block=32,
+            dl1_size=4096,
+            dl1_assoc=4,
+            dl1_block=32,
+            btb_entries=512,
+            btb_assoc=1,
+        )
+        assert load_use_latency(small) < load_use_latency(
+            MicroArch(
+                il1_size=4096,
+                il1_assoc=4,
+                il1_block=32,
+                dl1_size=131072,
+                dl1_assoc=64,
+                dl1_block=64,
+                btb_entries=512,
+                btb_assoc=1,
+            )
+        )
+
+    def test_miss_penalty_scales_with_frequency(self):
+        slow = cache_timing(32768, 32, 32, frequency_mhz=200)
+        fast = cache_timing(32768, 32, 32, frequency_mhz=600)
+        assert fast.miss_penalty_cycles > slow.miss_penalty_cycles
+
+    def test_miss_penalty_scales_with_block_size(self):
+        small = cache_timing(32768, 32, 8, frequency_mhz=400)
+        large = cache_timing(32768, 32, 64, frequency_mhz=400)
+        assert large.miss_penalty_cycles > small.miss_penalty_cycles
+
+    def test_icache_dcache_helpers_agree_with_direct_call(self):
+        machine = xscale()
+        assert icache_timing(machine) == cache_timing(
+            machine.il1_size, machine.il1_assoc, machine.il1_block, 400
+        )
+        assert dcache_timing(machine) == cache_timing(
+            machine.dl1_size, machine.dl1_assoc, machine.dl1_block, 400
+        )

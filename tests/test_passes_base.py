@@ -1,0 +1,140 @@
+"""Tests for the pass machinery: dependence-preserving delete/insert."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir import BasicBlock, Instruction, Opcode
+from repro.compiler.passes.base import (
+    delete_instructions,
+    insert_instructions,
+    remove_tagged,
+)
+
+
+def block_with_chain(length: int = 6) -> BasicBlock:
+    """a chain: each instruction depends on its immediate predecessor."""
+    instructions = [Instruction(opcode=Opcode.ADD, expr="i0")]
+    for index in range(1, length):
+        instructions.append(
+            Instruction(opcode=Opcode.ADD, expr=f"i{index}", deps=((1, "alu"),))
+        )
+    return BasicBlock("b", instructions)
+
+
+class TestDelete:
+    def test_returns_removed_count(self):
+        block = block_with_chain(5)
+        assert delete_instructions(block, [1, 3]) == 2
+        assert len(block.instructions) == 3
+
+    def test_no_indices_is_noop(self):
+        block = block_with_chain(4)
+        before = list(block.instructions)
+        assert delete_instructions(block, []) == 0
+        assert block.instructions == before
+
+    def test_consumer_of_deleted_producer_drops_edge(self):
+        block = block_with_chain(3)
+        delete_instructions(block, [1])
+        # instruction 2 depended on 1; the edge disappears.
+        assert block.instructions[1].deps == ()
+
+    def test_crossing_edges_shrink(self):
+        instructions = [
+            Instruction(opcode=Opcode.ADD, expr="a"),
+            Instruction(opcode=Opcode.MOV, expr="b"),
+            Instruction(opcode=Opcode.ADD, expr="c", deps=((2, "alu"),)),
+        ]
+        block = BasicBlock("b", instructions)
+        delete_instructions(block, [1])
+        # c's producer a is now adjacent: distance 2 -> 1.
+        assert block.instructions[1].deps == ((1, "alu"),)
+
+    def test_cross_block_edges_keep_reach(self):
+        instructions = [
+            Instruction(opcode=Opcode.MOV, expr="a"),
+            Instruction(opcode=Opcode.ADD, expr="b", deps=((4, "load"),)),
+        ]
+        block = BasicBlock("b", instructions)
+        delete_instructions(block, [0])
+        # b is now at index 0; its virtual producer was at -3 and stays there.
+        assert block.instructions[0].deps == ((3, "load"),)
+
+    @given(
+        length=st.integers(min_value=2, max_value=20),
+        doomed=st.sets(st.integers(min_value=0, max_value=19)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_remaining_deps_valid(self, length, doomed):
+        block = block_with_chain(length)
+        delete_instructions(block, {index for index in doomed if index < length})
+        for index, insn in enumerate(block.instructions):
+            for distance, _ in insn.deps:
+                assert distance >= 1
+
+
+class TestInsert:
+    def test_insert_stretches_crossing_edges(self):
+        block = block_with_chain(3)
+        spill = Instruction(opcode=Opcode.STORE, region="stack")
+        insert_instructions(block, 1, [spill])
+        # Old index 1 (now 2) depended on index 0 at distance 1 -> 2 now.
+        assert block.instructions[2].deps == ((2, "alu"),)
+
+    def test_insert_does_not_touch_inner_edges(self):
+        block = block_with_chain(4)
+        spill = Instruction(opcode=Opcode.STORE, region="stack")
+        insert_instructions(block, 0, [spill])
+        # All producer/consumer pairs sit after the insertion point.
+        for insn in block.instructions[2:]:
+            assert insn.deps == ((1, "alu"),)
+
+    def test_empty_insert_is_noop(self):
+        block = block_with_chain(3)
+        before = [insn.expr for insn in block.instructions]
+        insert_instructions(block, 1, [])
+        assert [insn.expr for insn in block.instructions] == before
+
+    def test_insert_then_delete_roundtrip_length(self):
+        block = block_with_chain(5)
+        spills = [
+            Instruction(opcode=Opcode.STORE, region="stack"),
+            Instruction(opcode=Opcode.LOAD, region="stack"),
+        ]
+        insert_instructions(block, 2, spills)
+        assert len(block.instructions) == 7
+        delete_instructions(block, [2, 3])
+        assert len(block.instructions) == 5
+        # The original chain's dependences survive the round trip.
+        for insn in block.instructions[1:]:
+            assert insn.deps == ((1, "alu"),)
+
+
+class TestRemoveTagged:
+    def test_removes_only_tagged(self):
+        instructions = [
+            Instruction(opcode=Opcode.ADD, expr="a"),
+            Instruction(
+                opcode=Opcode.MOV, expr="b", tags=frozenset({"peephole"})
+            ),
+            Instruction(opcode=Opcode.ADD, expr="c"),
+        ]
+        block = BasicBlock("b", instructions)
+        assert remove_tagged(block, "peephole") == 1
+        assert [insn.expr for insn in block.instructions] == ["a", "c"]
+
+    def test_predicate_filters(self):
+        instructions = [
+            Instruction(
+                opcode=Opcode.MOV, expr="x", tags=frozenset({"peephole"})
+            ),
+            Instruction(
+                opcode=Opcode.ADD, expr="y", tags=frozenset({"peephole"})
+            ),
+        ]
+        block = BasicBlock("b", instructions)
+        removed = remove_tagged(
+            block, "peephole", predicate=lambda insn: insn.opcode is Opcode.MOV
+        )
+        assert removed == 1
+        assert block.instructions[0].expr == "y"

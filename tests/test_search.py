@@ -1,0 +1,151 @@
+"""Tests for the iterative-compilation baselines."""
+
+import pytest
+
+from repro.compiler.flags import o3_setting
+from repro.machine.xscale import xscale
+from repro.programs import mibench_program
+from repro.search import (
+    Evaluator,
+    combined_elimination,
+    genetic_search,
+    hill_climb,
+    random_search,
+)
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return Evaluator(program=mibench_program("tiffdither"), machine=xscale())
+
+
+class TestEvaluator:
+    def test_memoises(self, evaluator):
+        before = evaluator.evaluations
+        runtime_one = evaluator.evaluate(o3_setting())
+        after_first = evaluator.evaluations
+        runtime_two = evaluator.evaluate(o3_setting())
+        assert runtime_one == runtime_two
+        assert evaluator.evaluations == after_first
+        assert after_first >= before
+
+    def test_canonicalisation_shares_entries(self, evaluator):
+        one = o3_setting().with_values(fgcse=False, fgcse_sm=True)
+        two = o3_setting().with_values(fgcse=False, fgcse_sm=False)
+        evaluator.evaluate(one)
+        count = evaluator.evaluations
+        evaluator.evaluate(two)
+        assert evaluator.evaluations == count
+
+    def test_speedup_relative_to_o3(self, evaluator):
+        assert evaluator.speedup(o3_setting()) == pytest.approx(1.0)
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, evaluator):
+        result = random_search(evaluator, budget=25, seed=3)
+        assert result.evaluations == 25
+        assert len(result.trajectory) == 25
+
+    def test_trajectory_monotone(self, evaluator):
+        result = random_search(evaluator, budget=25, seed=3)
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.trajectory, result.trajectory[1:])
+        )
+
+    def test_best_matches_trajectory_floor(self, evaluator):
+        result = random_search(evaluator, budget=25, seed=3)
+        assert result.best_runtime == pytest.approx(result.trajectory[-1])
+
+    def test_deterministic(self):
+        one = random_search(
+            Evaluator(mibench_program("sha"), xscale()), budget=15, seed=5
+        )
+        two = random_search(
+            Evaluator(mibench_program("sha"), xscale()), budget=15, seed=5
+        )
+        assert one.best_setting == two.best_setting
+
+    def test_larger_budget_no_worse(self):
+        small = random_search(
+            Evaluator(mibench_program("sha"), xscale()), budget=10, seed=5
+        )
+        large = random_search(
+            Evaluator(mibench_program("sha"), xscale()), budget=40, seed=5
+        )
+        assert large.best_runtime <= small.best_runtime
+
+    def test_evaluations_to_reach(self, evaluator):
+        result = random_search(evaluator, budget=25, seed=3)
+        index = result.evaluations_to_reach(result.best_runtime)
+        assert index is not None
+        assert 1 <= index <= 25
+        assert result.evaluations_to_reach(0.0) is None
+
+    def test_invalid_budget(self, evaluator):
+        with pytest.raises(ValueError):
+            random_search(evaluator, budget=0, seed=1)
+
+
+class TestHillClimb:
+    def test_budget_respected(self):
+        evaluator = Evaluator(mibench_program("sha"), xscale())
+        result = hill_climb(evaluator, budget=30, seed=2)
+        assert result.evaluations <= 30
+        assert result.best_setting is not None
+
+    def test_trajectory_monotone(self):
+        evaluator = Evaluator(mibench_program("sha"), xscale())
+        result = hill_climb(evaluator, budget=30, seed=2)
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.trajectory, result.trajectory[1:])
+        )
+
+
+class TestGenetic:
+    def test_budget_respected(self):
+        evaluator = Evaluator(mibench_program("sha"), xscale())
+        result = genetic_search(evaluator, budget=40, seed=4, population_size=8)
+        assert result.evaluations <= 41
+        assert result.best_setting is not None
+
+    def test_improves_over_first_generation(self):
+        evaluator = Evaluator(mibench_program("susan_e"), xscale())
+        result = genetic_search(evaluator, budget=60, seed=4, population_size=10)
+        first_generation_best = min(result.trajectory[:10])
+        assert result.best_runtime <= first_generation_best
+
+
+class TestCombinedElimination:
+    def test_only_disables_harmful_flags(self):
+        evaluator = Evaluator(mibench_program("tiffdither"), xscale())
+        result = combined_elimination(evaluator, budget=120)
+        # CE starts from everything-on and can only improve on it.
+        all_on_runtime = result.trajectory[0]
+        assert result.best_runtime <= all_on_runtime
+
+    def test_trajectory_monotone(self):
+        evaluator = Evaluator(mibench_program("tiffdither"), xscale())
+        result = combined_elimination(evaluator, budget=120)
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.trajectory, result.trajectory[1:])
+        )
+
+
+class TestBaselineComparison:
+    def test_all_baselines_reasonable_on_same_pair(self):
+        program = mibench_program("susan_e")
+        results = {}
+        for name, driver in [
+            ("random", lambda ev: random_search(ev, budget=40, seed=1)),
+            ("hill", lambda ev: hill_climb(ev, budget=40, seed=1)),
+            ("ga", lambda ev: genetic_search(ev, budget=40, seed=1)),
+        ]:
+            evaluator = Evaluator(program, xscale())
+            results[name] = driver(evaluator).best_runtime
+        o3_runtime = Evaluator(program, xscale()).evaluate(o3_setting())
+        for name, runtime in results.items():
+            assert runtime < o3_runtime * 1.2, name

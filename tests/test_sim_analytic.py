@@ -1,0 +1,213 @@
+"""Tests for the analytic executor (repro.sim.analytic)."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler.binary import LoopSummary, RegionAccess
+from repro.compiler.flags import o3_setting
+from repro.compiler.pipeline import Compiler
+from repro.machine.params import MicroArch
+from repro.machine.xscale import xscale, xscale_small_icache
+from repro.sim.analytic import (
+    access_dcache_misses,
+    effective_capacity,
+    loop_icache_misses,
+    simulate_analytic,
+)
+from repro.sim.counters import COUNTER_NAMES
+from tests.conftest import simple_loop_program
+
+
+def _machine(**overrides) -> MicroArch:
+    base = dict(
+        il1_size=32768,
+        il1_assoc=32,
+        il1_block=32,
+        dl1_size=32768,
+        dl1_assoc=32,
+        dl1_block=32,
+        btb_entries=512,
+        btb_assoc=1,
+    )
+    base.update(overrides)
+    return MicroArch(**base)
+
+
+def _loop(code_bytes: int, iterations: float = 1e4, entries: float = 1.0):
+    return LoopSummary(
+        function="main",
+        header="hdr",
+        depth=1,
+        parent=None,
+        iterations=iterations,
+        entries=entries,
+        code_bytes=code_bytes,
+        own_dyn_insns=iterations * code_bytes / 4,
+    )
+
+
+class TestEffectiveCapacity:
+    def test_higher_associativity_keeps_more(self):
+        assert effective_capacity(4096, 64) > effective_capacity(4096, 4)
+
+    def test_below_raw_size(self):
+        assert effective_capacity(4096, 8) < 4096
+
+
+class TestLoopIcacheModel:
+    def test_fitting_loop_pays_cold_only(self):
+        misses = loop_icache_misses(_loop(1024, iterations=1e6), 3584.0, 32)
+        assert misses <= 1024 / 32 * 1.05
+
+    def test_overflowing_loop_thrashes(self):
+        fitting = loop_icache_misses(_loop(3000, iterations=1e5), 3584.0, 32)
+        thrashing = loop_icache_misses(_loop(8000, iterations=1e5), 3584.0, 32)
+        assert thrashing > 100 * fitting
+
+    def test_thrash_grows_with_overflow(self):
+        small = loop_icache_misses(_loop(4000, iterations=1e5), 3584.0, 32)
+        large = loop_icache_misses(_loop(6500, iterations=1e5), 3584.0, 32)
+        assert large > small
+
+    def test_reentry_leak_charged_without_resident_parent(self):
+        lonely = loop_icache_misses(
+            _loop(1024, iterations=1e4, entries=1000.0), 3584.0, 32
+        )
+        nested = loop_icache_misses(
+            _loop(1024, iterations=1e4, entries=1000.0),
+            3584.0,
+            32,
+            parent_resident=True,
+        )
+        assert lonely > nested
+
+
+class TestDcacheModel:
+    def _access(self, kind, region_bytes, stride, count=1e5, is_store=False):
+        return RegionAccess(
+            region="r",
+            kind=kind,
+            region_bytes=region_bytes,
+            stride=stride,
+            count=count,
+            is_store=is_store,
+        )
+
+    def test_stream_single_pass_compulsory(self):
+        access = self._access("stream", region_bytes=1 << 20, stride=4, count=1e4)
+        misses = access_dcache_misses(access, iterations=1e4, capacity=28672, block_bytes=32)
+        assert misses == pytest.approx(1e4 * 4 / 32)
+
+    def test_wrapping_stream_hits_when_resident(self):
+        access = self._access("stream", region_bytes=8192, stride=4, count=1e6)
+        misses = access_dcache_misses(access, iterations=1e6, capacity=28672, block_bytes=32)
+        # Region fits: only the compulsory pass misses.
+        assert misses == pytest.approx(8192 / 32)
+
+    def test_wrapping_stream_misses_when_oversized(self):
+        access = self._access("stream", region_bytes=1 << 20, stride=4, count=1e7)
+        misses = access_dcache_misses(access, iterations=1e7, capacity=28672, block_bytes=32)
+        assert misses > 1e5
+
+    def test_large_stride_misses_every_access(self):
+        access = self._access("stream", region_bytes=1 << 20, stride=64, count=1e4)
+        misses = access_dcache_misses(access, iterations=1e4, capacity=28672, block_bytes=32)
+        assert misses == pytest.approx(1e4)
+
+    def test_table_locality_discount(self):
+        table = self._access("table", region_bytes=1 << 18, stride=0, count=1e5)
+        chase = self._access("chase", region_bytes=1 << 18, stride=0, count=1e5)
+        capacity = 28672.0
+        assert access_dcache_misses(
+            table, 1e5, capacity, 32
+        ) < access_dcache_misses(chase, 1e5, capacity, 32)
+
+    def test_resident_table_no_misses(self):
+        table = self._access("table", region_bytes=1024, stride=0, count=1e5)
+        assert access_dcache_misses(table, 1e5, 28672.0, 32) == pytest.approx(0.0)
+
+    def test_stack_compulsory_only(self):
+        stack = self._access("stack", region_bytes=4096, stride=0, count=1e6)
+        assert access_dcache_misses(stack, 1e6, 28672.0, 32) <= 4096 / 32
+
+    def test_unknown_kind_rejected(self):
+        bogus = dataclasses.replace(self._access("stream", 1024, 4), kind="heap")
+        with pytest.raises(ValueError):
+            access_dcache_misses(bogus, 1e4, 28672.0, 32)
+
+
+class TestSimulateAnalytic:
+    @pytest.fixture()
+    def binary(self, compiler, o3):
+        return compiler.compile(simple_loop_program(), o3)
+
+    def test_breakdown_sums_to_cycles(self, binary, machine):
+        result = simulate_analytic(binary, machine)
+        assert result.cycles == pytest.approx(result.breakdown.total())
+
+    def test_seconds_from_cycles_and_clock(self, binary, machine):
+        result = simulate_analytic(binary, machine)
+        assert result.seconds == pytest.approx(result.cycles * 2.5e-9)
+
+    def test_counters_well_formed(self, binary, machine):
+        counters = simulate_analytic(binary, machine).counters
+        vector = counters.vector()
+        assert len(vector) == len(COUNTER_NAMES)
+        assert 0 < counters.ipc <= 2.0
+        assert 0 <= counters.icache_miss_rate <= 1
+        assert 0 <= counters.dcache_miss_rate <= 1
+        assert counters.alu_usage + counters.mac_usage + counters.shift_usage <= 1.0
+
+    def test_deterministic(self, binary, machine):
+        one = simulate_analytic(binary, machine)
+        two = simulate_analytic(binary, machine)
+        assert one.cycles == two.cycles
+
+    def test_dual_issue_faster(self, binary):
+        narrow = simulate_analytic(binary, _machine(issue_width=1))
+        wide = simulate_analytic(binary, _machine(issue_width=2))
+        assert wide.cycles < narrow.cycles
+
+    def test_dual_issue_less_than_double(self, binary):
+        narrow = simulate_analytic(binary, _machine(issue_width=1))
+        wide = simulate_analytic(binary, _machine(issue_width=2))
+        assert wide.cycles > narrow.cycles / 2
+
+    def test_frequency_cancels_partially_in_runtime(self, binary):
+        slow = simulate_analytic(binary, _machine(frequency_mhz=200))
+        fast = simulate_analytic(binary, _machine(frequency_mhz=600))
+        # Faster clock is faster in seconds, but sublinearly (misses cost
+        # more cycles).
+        assert fast.seconds < slow.seconds
+        assert fast.seconds > slow.seconds * 200 / 600 * 0.8
+
+    def test_bigger_icache_never_hurts_misses(self, compiler, o3):
+        from repro.programs import mibench_program
+
+        binary = compiler.compile(mibench_program("rijndael_e"), o3)
+        small = simulate_analytic(binary, _machine(il1_size=4096))
+        large = simulate_analytic(binary, _machine(il1_size=131072))
+        assert small.detail["ic_misses"] >= large.detail["ic_misses"]
+
+    def test_small_icache_thrashes_big_program(self, compiler, o3):
+        from repro.programs import mibench_program
+
+        binary = compiler.compile(mibench_program("rijndael_e"), o3)
+        small = simulate_analytic(binary, xscale_small_icache())
+        big = simulate_analytic(binary, xscale())
+        assert small.cycles > 1.5 * big.cycles
+
+    def test_energy_positive_and_scales_with_cache_size(self, binary):
+        small = simulate_analytic(binary, _machine(dl1_size=4096))
+        large = simulate_analytic(binary, _machine(dl1_size=131072))
+        assert small.energy_nj > 0
+        assert large.energy_nj > small.energy_nj
+
+    def test_btb_pressure_costs_cycles(self, compiler, o3):
+        from repro.programs import mibench_program
+
+        binary = compiler.compile(mibench_program("gs"), o3)
+        small_btb = simulate_analytic(binary, _machine(btb_entries=128, btb_assoc=1))
+        large_btb = simulate_analytic(binary, _machine(btb_entries=2048, btb_assoc=8))
+        assert small_btb.detail["btb_miss_rate"] >= large_btb.detail["btb_miss_rate"]

@@ -1,0 +1,152 @@
+"""Tests for the trace-tier structures: caches, BTB, predictors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.branch import BimodalPredictor, BranchTargetBuffer, BranchUnit
+from repro.sim.cache import SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses(self):
+        cache = SetAssociativeCache(1024, 2, 32)
+        assert not cache.access(0)
+        assert cache.stats.misses == 1
+
+    def test_second_access_hits(self):
+        cache = SetAssociativeCache(1024, 2, 32)
+        cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.misses == 1
+
+    def test_same_block_hits(self):
+        cache = SetAssociativeCache(1024, 2, 32)
+        cache.access(0)
+        assert cache.access(31)
+        assert not cache.access(32)
+
+    def test_lru_eviction(self):
+        # Direct-mapped-like: 2 ways, addresses mapping to one set.
+        cache = SetAssociativeCache(size_bytes=64, assoc=2, block_bytes=32)
+        # One set only: size/(assoc*block) = 1.
+        cache.access(0)
+        cache.access(32)
+        cache.access(0)  # touch: 32 becomes LRU
+        cache.access(64)  # evicts 32
+        assert cache.access(0)
+        assert not cache.access(32)
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        cache = SetAssociativeCache(4096, 4, 32)
+        addresses = list(range(0, 4096, 32))
+        for address in addresses:
+            cache.access(address)
+        cache.reset_stats()
+        for _ in range(3):
+            for address in addresses:
+                assert cache.access(address)
+
+    def test_cyclic_overflow_thrashes_with_lru(self):
+        # The classic pathology the analytic model's thrash term reproduces.
+        cache = SetAssociativeCache(4096, 4, 32)
+        addresses = list(range(0, 8192, 32))  # 2x capacity
+        for _ in range(3):
+            for address in addresses:
+                cache.access(address)
+        cache.reset_stats()
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.miss_rate == 1.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 3, 32)
+
+    def test_flush(self):
+        cache = SetAssociativeCache(1024, 2, 32)
+        cache.access(0)
+        cache.flush()
+        assert cache.occupancy() == 0
+        assert not cache.access(0)
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = SetAssociativeCache(2048, 4, 32)
+        for address in addresses:
+            cache.access(address)
+        assert cache.occupancy() <= 2048 // 32
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unique_blocks_lower_bound_misses(self, addresses):
+        cache = SetAssociativeCache(2048, 4, 32)
+        for address in addresses:
+            cache.access(address)
+        unique_blocks = len({address // 32 for address in addresses})
+        assert cache.stats.misses >= min(unique_blocks, 1)
+        assert cache.stats.misses <= len(addresses)
+
+
+class TestBranchTargetBuffer:
+    def test_capacity_hit_after_allocation(self):
+        btb = BranchTargetBuffer(entries=128, assoc=1)
+        assert not btb.lookup(10)
+        assert btb.lookup(10)
+
+    def test_conflict_eviction_direct_mapped(self):
+        btb = BranchTargetBuffer(entries=4, assoc=1)
+        btb.lookup(0)
+        btb.lookup(4)  # same set, evicts 0
+        assert not btb.lookup(0)
+
+    def test_associativity_avoids_conflict(self):
+        btb = BranchTargetBuffer(entries=4, assoc=2)
+        btb.lookup(0)
+        btb.lookup(2)  # 2 sets: pc 0 and 2 share set 0 with 2 ways
+        assert btb.lookup(0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, assoc=3)
+
+
+class TestBimodalPredictor:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor(entries=16)
+        for _ in range(4):
+            predictor.update(3, taken=True)
+        assert predictor.predict(3)
+
+    def test_forgets_under_opposite_stream(self):
+        predictor = BimodalPredictor(entries=16)
+        for _ in range(4):
+            predictor.update(3, taken=True)
+        for _ in range(4):
+            predictor.update(3, taken=False)
+        assert not predictor.predict(3)
+
+
+class TestBranchUnit:
+    def test_predictable_loop_branch_low_mispredicts(self):
+        unit = BranchUnit(btb_entries=128, btb_assoc=2)
+        for index in range(200):
+            unit.execute(pc=7, taken=index % 100 != 99)
+        assert unit.stats.misprediction_rate < 0.1
+
+    def test_btb_capacity_pressure(self):
+        unit = BranchUnit(btb_entries=16, btb_assoc=1)
+        # 64 distinct taken branches round-robin: capacity misses dominate.
+        for _ in range(10):
+            for pc in range(64):
+                unit.execute(pc=pc, taken=True)
+        assert unit.stats.btb_miss_rate > 0.5

@@ -1,0 +1,172 @@
+"""Cross-validation of the analytic model against the trace-tier reference.
+
+These tests construct binaries with known loop/code/data footprints and
+check that the analytic capacity models agree *qualitatively* with true-LRU
+reference simulation: same fits-vs-thrashes verdicts, same orderings across
+cache sizes.  (Absolute agreement is not expected — the analytic tier is a
+first-order model.)
+"""
+
+import pytest
+
+from repro.compiler.binary import CompiledBinary, LoopSummary, RegionAccess
+from repro.compiler.ir import DataRegion
+from repro.machine.params import MicroArch
+from repro.sim.analytic import effective_capacity, loop_icache_misses, simulate_analytic
+from repro.sim.trace import simulate_trace
+
+
+def _machine(il1_size=32768, dl1_size=32768, il1_assoc=32, dl1_assoc=32):
+    return MicroArch(
+        il1_size=il1_size,
+        il1_assoc=il1_assoc,
+        il1_block=32,
+        dl1_size=dl1_size,
+        dl1_assoc=dl1_assoc,
+        dl1_block=32,
+        btb_entries=512,
+        btb_assoc=1,
+    )
+
+
+def _binary(loop_code_bytes: int, region_bytes: int, stride: int, kind: str):
+    iterations = 200.0
+    access = RegionAccess(
+        region="data",
+        kind=kind,
+        region_bytes=region_bytes,
+        stride=stride,
+        count=iterations * 2,
+        is_store=False,
+    )
+    loop = LoopSummary(
+        function="main",
+        header="hdr",
+        depth=1,
+        parent=None,
+        iterations=iterations,
+        entries=1.0,
+        code_bytes=loop_code_bytes,
+        own_dyn_insns=iterations * loop_code_bytes / 4,
+        accesses=[access],
+    )
+    return CompiledBinary(
+        program_name="synthetic",
+        setting=None,
+        code_bytes=loop_code_bytes + 256,
+        hot_code_bytes=loop_code_bytes,
+        dyn_insns=loop.own_dyn_insns,
+        mix={
+            "alu": loop.own_dyn_insns * 0.7,
+            "mac": 0.0,
+            "shift": 0.0,
+            "load": iterations * 2,
+            "store": 0.0,
+            "ctrl": iterations,
+        },
+        dyn_branches=iterations,
+        dyn_taken=iterations - 1,
+        dyn_calls=0.0,
+        branch_sites=1,
+        mean_predictability=0.98,
+        aligned_taken_fraction=0.0,
+        stall_profile={},
+        loops=[loop],
+        flat_accesses=[],
+        regions={"data": DataRegion("data", region_bytes, kind)},
+        reg_reads=loop.own_dyn_insns,
+        spill_dyn=0.0,
+        stats=None,
+    )
+
+
+class TestIcacheAgreement:
+    def test_fitting_loop_near_zero_misses_in_both_tiers(self):
+        machine = _machine(il1_size=32768)
+        binary = _binary(2048, 4096, 4, "stream")
+        trace = simulate_trace(binary, machine)
+        assert trace.icache_miss_rate < 0.02
+        analytic = loop_icache_misses(
+            binary.loops[0],
+            effective_capacity(machine.il1_size, machine.il1_assoc),
+            machine.il1_block,
+        )
+        # Cold misses only: one per line.
+        assert analytic <= 2048 / 32 * 1.1
+
+    def test_thrashing_loop_full_misses_in_both_tiers(self):
+        machine = _machine(il1_size=4096)
+        binary = _binary(16384, 4096, 4, "stream")
+        trace = simulate_trace(binary, machine)
+        assert trace.icache_miss_rate > 0.95
+        analytic = loop_icache_misses(
+            binary.loops[0],
+            effective_capacity(machine.il1_size, machine.il1_assoc),
+            machine.il1_block,
+        )
+        lines = 16384 / 32
+        iterations = binary.loops[0].iterations
+        assert analytic == pytest.approx(iterations * lines, rel=0.05)
+
+    def test_ordering_across_cache_sizes_matches(self):
+        binary = _binary(12288, 4096, 4, "stream")
+        trace_rates = []
+        analytic_misses = []
+        for size in (4096, 16384, 65536):
+            machine = _machine(il1_size=size)
+            trace_rates.append(simulate_trace(binary, machine).icache_miss_rate)
+            analytic_misses.append(
+                loop_icache_misses(
+                    binary.loops[0],
+                    effective_capacity(size, machine.il1_assoc),
+                    machine.il1_block,
+                )
+            )
+        assert trace_rates == sorted(trace_rates, reverse=True)
+        assert analytic_misses == sorted(analytic_misses, reverse=True)
+
+
+class TestDcacheAgreement:
+    def test_resident_table_hits_in_both_tiers(self):
+        machine = _machine(dl1_size=32768)
+        binary = _binary(1024, 2048, 0, "table")
+        trace = simulate_trace(binary, machine)
+        assert trace.dcache_miss_rate < 0.35  # compulsory warm-up only
+        result = simulate_analytic(binary, machine)
+        assert result.counters.dcache_miss_rate < 0.35
+
+    def test_oversized_chase_misses_in_both_tiers(self):
+        machine = _machine(dl1_size=4096)
+        binary = _binary(1024, 1 << 20, 0, "chase")
+        trace = simulate_trace(binary, machine)
+        result = simulate_analytic(binary, machine)
+        assert trace.dcache_miss_rate > 0.8
+        assert result.counters.dcache_miss_rate > 0.8
+
+    def test_dcache_size_ordering_matches(self):
+        binary = _binary(1024, 65536, 0, "chase")
+        trace_rates = []
+        analytic_rates = []
+        for size in (4096, 16384, 131072):
+            machine = _machine(dl1_size=size)
+            trace_rates.append(simulate_trace(binary, machine).dcache_miss_rate)
+            analytic_rates.append(
+                simulate_analytic(binary, machine).counters.dcache_miss_rate
+            )
+        assert trace_rates == sorted(trace_rates, reverse=True)
+        assert analytic_rates == sorted(analytic_rates, reverse=True)
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_counts(self):
+        binary = _binary(4096, 65536, 4, "stream")
+        machine = _machine()
+        one = simulate_trace(binary, machine, seed=11)
+        two = simulate_trace(binary, machine, seed=11)
+        assert one.icache_misses == two.icache_misses
+        assert one.dcache_misses == two.dcache_misses
+
+    def test_btb_lookups_counted(self):
+        binary = _binary(4096, 65536, 4, "stream")
+        trace = simulate_trace(binary, _machine())
+        assert trace.btb_lookups > 0
