@@ -1,51 +1,63 @@
 """Design-space exploration: why the best flags change with the machine.
 
 Sweeps the instruction-cache size axis of Table 2 for rijndael_e under two
-flag settings and prints the crossover the paper's §2 example motivates:
-the aggressive -O3 binary wins while its hot loop fits, then falls off a
-cliff the lean binary does not have.
+flag settings — one parallel Session batch over all (setting, machine)
+points — and prints the crossover the paper's §2 example motivates: the
+aggressive -O3 binary wins while its hot loop fits, then falls off a cliff
+the lean binary does not have.
 
 Run:  python examples/design_space_exploration.py
 """
 
 import dataclasses
 
-from repro.compiler import Compiler, o3_setting
+from repro.api import EvaluationRequest, Session
+from repro.compiler import o3_setting
 from repro.machine import BASE_GRID, xscale
-from repro.programs import mibench_program
-from repro.sim import simulate
 
 
 def main() -> None:
-    compiler = Compiler()
-    program = mibench_program("rijndael_e")
+    session = Session()
+    program = session.program("rijndael_e")
 
-    aggressive = compiler.compile(program, o3_setting())
-    lean = compiler.compile(
-        program,
-        o3_setting().with_values(
-            finline_functions=False,
-            funswitch_loops=False,
-            fschedule_insns=False,
-            falign_functions=False,
-            falign_jumps=False,
-            falign_loops=False,
-            falign_labels=False,
-        ),
+    lean_setting = o3_setting().with_values(
+        finline_functions=False,
+        funswitch_loops=False,
+        fschedule_insns=False,
+        falign_functions=False,
+        falign_jumps=False,
+        falign_loops=False,
+        falign_labels=False,
     )
+    aggressive = session.compile(program)
+    lean = session.compile(program, lean_setting)
     hot_aggressive = max(loop.code_bytes for loop in aggressive.loops)
     hot_lean = max(loop.code_bytes for loop in lean.loops)
     print(f"hot loop span: -O3 {hot_aggressive} bytes, lean {hot_lean} bytes\n")
 
+    machines = [
+        dataclasses.replace(xscale(), il1_size=il1_size)
+        for il1_size in BASE_GRID["il1_size"]
+    ]
+    # The whole sweep is one batched evaluation: every (setting, machine)
+    # point is independent, so it parallelises across all cores.
+    results = session.evaluate_batch(
+        [
+            EvaluationRequest(program, machine, setting)
+            for machine in machines
+            for setting in (None, lean_setting)
+        ],
+        jobs=-1,
+    )
+
     print(f"{'I-cache':>8s} {'-O3 Mcycles':>12s} {'lean Mcycles':>13s} "
           f"{'winner':>8s} {'lean gain':>10s}")
-    for il1_size in BASE_GRID["il1_size"]:
-        machine = dataclasses.replace(xscale(), il1_size=il1_size)
-        o3_cycles = simulate(aggressive, machine).cycles
-        lean_cycles = simulate(lean, machine).cycles
+    for index, machine in enumerate(machines):
+        o3_cycles = results[2 * index].cycles
+        lean_cycles = results[2 * index + 1].cycles
         winner = "lean" if lean_cycles < o3_cycles else "-O3"
         gain = o3_cycles / lean_cycles
-        print(f"{il1_size // 1024:>6d}K {o3_cycles / 1e6:12.1f} "
+        print(f"{machine.il1_size // 1024:>6d}K {o3_cycles / 1e6:12.1f} "
               f"{lean_cycles / 1e6:13.1f} {winner:>8s} {gain:9.2f}x")
 
     print(

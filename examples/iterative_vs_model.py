@@ -1,74 +1,70 @@
 """§5.3's comparison: how many iterative-compilation evaluations does it
 take to match the model's single profile run?
 
-Runs the four search baselines on one program/machine pair and prints their
-convergence against the model's one-shot prediction.
+Runs the four search baselines on one program/machine pair via
+Session.search and prints their convergence against the model's one-shot
+prediction.
 
 Run:  python examples/iterative_vs_model.py
 """
 
-from repro.compiler import Compiler, o3_setting
-from repro.core import OptimisationPredictor, generate_training_set
-from repro.machine import MicroArchSpace, xscale_small_icache
-from repro.programs import mibench_program
-from repro.search import (
-    Evaluator,
-    combined_elimination,
-    genetic_search,
-    hill_climb,
-    random_search,
-)
-from repro.sim import simulate
+from repro.api import SearchRequest, Session
+from repro.core import generate_training_set
+from repro.machine import xscale_small_icache
 
 TARGET = "rijndael_e"
 BUDGET = 120
 
 
 def main() -> None:
-    compiler = Compiler()
-    space = MicroArchSpace()
+    session = Session()
     # Training machines must cover the small-I-cache corner of the space for
     # the model to have seen the thrash signature (its features include the
     # I-cache miss-rate counter); the target machine itself stays held out.
-    machines = space.sample(10, seed=46)
+    machines = session.machines(10, seed=46)
     target_machine = xscale_small_icache()  # held out of training
     machines = [machine for machine in machines if machine != target_machine]
 
     # Train the model on other programs/machines, then predict one-shot.
-    training_programs = [
-        mibench_program(name)
-        for name in (
-            "sha", "bitcnts", "susan_e", "crc", "tiffdither", "bf_e",
-            "rijndael_d", "madplay", "say",
-        )
-    ]
     training = generate_training_set(
-        training_programs, machines, n_settings=60, seed=7, compiler=compiler
+        programs=[
+            session.program(name)
+            for name in (
+                "sha", "bitcnts", "susan_e", "crc", "tiffdither", "bf_e",
+                "rijndael_d", "madplay", "say",
+            )
+        ],
+        machines=machines,
+        n_settings=60,
+        seed=7,
+        compiler=session.compiler,
     )
-    model = OptimisationPredictor().fit(training)
+    session.fit(training)
 
-    program = mibench_program(TARGET)
-    profile = simulate(program, target_machine)
-    predicted = model.predict(profile.counters, target_machine)
-    model_runtime = simulate(
-        compiler.compile(program, predicted), target_machine
-    ).seconds
-    o3_runtime = profile.seconds
+    prediction = session.predict(TARGET, target_machine)
+    model_runtime = prediction.predicted_run.seconds
     print(f"pair: {TARGET} on {target_machine.label()}")
-    print(f"model one-shot speedup over -O3: {o3_runtime / model_runtime:.3f}x\n")
+    print(f"model one-shot speedup over -O3: {prediction.speedup_over_o3:.3f}x\n")
 
     print(f"{'search':<22s} {'best speedup':>12s} {'evals to match model':>22s}")
-    for label, driver in [
-        ("random search", lambda ev: random_search(ev, BUDGET, seed=3)),
-        ("hill climbing", lambda ev: hill_climb(ev, BUDGET, seed=3)),
-        ("genetic algorithm", lambda ev: genetic_search(ev, BUDGET, seed=3)),
-        ("combined elimination", lambda ev: combined_elimination(ev, budget=BUDGET)),
+    for label, algorithm in [
+        ("random search", "random"),
+        ("hill climbing", "hillclimb"),
+        ("genetic algorithm", "genetic"),
+        ("combined elimination", "combined-elimination"),
     ]:
-        evaluator = Evaluator(program, target_machine, compiler=compiler)
-        result = driver(evaluator)
-        to_match = result.evaluations_to_reach(model_runtime)
+        outcome = session.search(
+            SearchRequest(
+                program=TARGET,
+                machine=target_machine,
+                algorithm=algorithm,
+                budget=BUDGET,
+                seed=3,
+            )
+        )
+        to_match = outcome.evaluations_to_reach(model_runtime)
         print(
-            f"{label:<22s} {o3_runtime / result.best_runtime:12.3f} "
+            f"{label:<22s} {outcome.best_speedup:12.3f} "
             f"{to_match if to_match is not None else f'>{BUDGET}':>22}"
         )
 

@@ -1,19 +1,22 @@
 """The full portable-compiler deployment flow of the paper's Figure 2.
 
 1. Off-line, once: generate training data (N random flag settings on a set
-   of program/microarchitecture pairs) and fit the model.
+   of program/microarchitecture pairs), fit the model, and persist it.
 2. A *new* program arrives on a *new* microarchitecture (neither was in the
-   training data): run it once at -O3, read the 11 hardware counters,
-   predict the best passes, recompile, done.
+   training data): reload the model, run the program once at -O3, read the
+   11 hardware counters, predict the best passes, recompile, done.
+
+Everything goes through the Session façade, including the train → save →
+load → predict model lifecycle.
 
 Run:  python examples/portable_compiler.py
 """
 
-from repro.compiler import Compiler, o3_setting
-from repro.core import OptimisationPredictor, generate_training_set
-from repro.machine import MicroArchSpace
-from repro.programs import mibench_program
-from repro.sim import simulate
+import tempfile
+from pathlib import Path
+
+from repro.api import EvaluationRequest, Session
+from repro.core import generate_training_set
 
 TRAIN_PROGRAMS = (
     "qsort", "djpeg", "ispell", "bf_e", "tiffdither",
@@ -23,53 +26,58 @@ NEW_PROGRAM = "rijndael_e"  # never seen during training
 
 
 def main() -> None:
-    compiler = Compiler()
-    space = MicroArchSpace()
-    machines = space.sample(10, seed=42)
-    new_machine = space.sample(11, seed=271)[-1]  # held out of training
+    session = Session()
+    machines = session.machines(10, seed=42)
+    new_machine = session.machines(11, seed=271)[-1]  # held out of training
     assert new_machine not in machines
 
     print("training (one-off, §3.2): "
           f"{len(TRAIN_PROGRAMS)} programs x {len(machines)} machines "
           "x 80 settings ...")
     training = generate_training_set(
-        programs=[mibench_program(name) for name in TRAIN_PROGRAMS],
+        programs=[session.program(name) for name in TRAIN_PROGRAMS],
         machines=machines,
         n_settings=80,
         seed=7,
-        compiler=compiler,
+        compiler=session.compiler,
     )
-    model = OptimisationPredictor().fit(training)
-    print("model fitted.\n")
+    session.fit(training)
+    model_path = Path(tempfile.mkdtemp(prefix="portable-compiler-")) / "model.json"
+    session.save_model(model_path)
+    print(f"model fitted and saved to {model_path} "
+          f"(training fingerprint {session.model_fingerprint}).\n")
 
-    # --- deployment (§3.4) -------------------------------------------------
-    program = mibench_program(NEW_PROGRAM)
+    # --- deployment (§3.4): a fresh session reloads the persisted model ----
+    deployment = Session()
+    deployment.load_model(model_path)
     print(f"new program '{NEW_PROGRAM}' on new machine {new_machine.label()}")
 
-    profile = simulate(program, new_machine)  # single -O3 profiling run
-    predicted = model.predict(profile.counters, new_machine)
-
+    prediction = deployment.predict(NEW_PROGRAM, new_machine)
     enabled = [
         name for name in ("finline_functions", "fschedule_insns",
                           "funswitch_loops", "funroll_loops", "fgcse",
                           "freorder_blocks")
-        if predicted.enabled(name)
+        if prediction.setting.enabled(name)
     ]
     print(f"predicted passes (headline subset on): {', '.join(enabled) or '(none)'}")
 
-    tuned = simulate(compiler.compile(program, predicted), new_machine)
-    speedup = profile.seconds / tuned.seconds
-    print(f"\n-O3:        {profile.cycles:12.3e} cycles")
-    print(f"predicted:  {tuned.cycles:12.3e} cycles")
-    print(f"speedup over -O3 from one profiling run: {speedup:.2f}x")
+    print(f"\n-O3:        {prediction.profile.cycles:12.3e} cycles")
+    print(f"predicted:  {prediction.predicted_run.cycles:12.3e} cycles")
+    print(f"speedup over -O3 from one profiling run: "
+          f"{prediction.speedup_over_o3:.2f}x")
 
-    # For reference: what 80 evaluations of iterative compilation achieve.
-    best_runtime = min(
-        simulate(compiler.compile(program, setting), new_machine).seconds
-        for setting in training.settings
+    # For reference: what 80 evaluations of iterative compilation achieve,
+    # evaluated as one parallel batch.
+    runs = deployment.evaluate_batch(
+        [
+            EvaluationRequest(NEW_PROGRAM, new_machine, setting)
+            for setting in training.settings
+        ],
+        jobs=-1,
     )
+    best_runtime = min(run.runtime for run in runs)
     print(f"iterative compilation (80 evaluations): "
-          f"{profile.seconds / best_runtime:.2f}x")
+          f"{prediction.profile.seconds / best_runtime:.2f}x")
 
 
 if __name__ == "__main__":

@@ -1,30 +1,30 @@
 """Quickstart: compile one benchmark two ways and run it on two machines.
 
-This walks the paper's Figure 2 data path by hand:
+This walks the paper's Figure 2 data path through the unified Session
+façade:
 
-    program source  ──┐
-    flag setting    ──┼─→ Compiler ─→ CompiledBinary ─→ simulate ─→ cycles,
-    microarchitecture ─┘                                            counters
+    program name ──┐
+    flag setting ──┼─→ Session.evaluate ─→ cycles, counters, runtime
+    machine      ──┘
 
 Run:  python examples/quickstart.py
 """
 
-from repro.compiler import Compiler, o3_setting
+from repro.api import EvaluationRequest, Session
+from repro.compiler import o3_setting
 from repro.machine import xscale, xscale_small_icache
-from repro.programs import mibench_program
-from repro.sim import COUNTER_NAMES, simulate
+from repro.sim import COUNTER_NAMES
 
 
 def main() -> None:
-    compiler = Compiler()
-    program = mibench_program("rijndael_e")
+    session = Session()
+    program = session.program("rijndael_e")
     print(f"program: {program.name} — {program.size_insns} static instructions, "
           f"{program.dynamic_insns:.3g} dynamic\n")
 
     # Two compilations: gcc-4.2-style -O3, and -O3 with the code-growing
     # passes disabled (what the paper's model learns to pick on small
     # instruction caches).
-    aggressive = compiler.compile(program, o3_setting())
     lean_setting = o3_setting().with_values(
         finline_functions=False,
         funswitch_loops=False,
@@ -34,18 +34,25 @@ def main() -> None:
         falign_loops=False,
         falign_labels=False,
     )
-    lean = compiler.compile(program, lean_setting)
+    print(f"-O3 binary:  {session.compile(program).describe()}")
+    print(f"lean binary: {session.compile(program, lean_setting).describe()}\n")
 
-    print(f"-O3 binary:  {aggressive.describe()}")
-    print(f"lean binary: {lean.describe()}\n")
-
-    for machine, label in [
+    # One batch covers both settings on both machines; with --jobs-style
+    # parallelism (jobs=2) the four runs fan out over worker processes.
+    machines = [
         (xscale(), "XScale (32K I$)"),
         (xscale_small_icache(), "XScale variant (4K I$)"),
-    ]:
-        o3_run = simulate(aggressive, machine)
-        lean_run = simulate(lean, machine)
-        speedup = o3_run.seconds / lean_run.seconds
+    ]
+    requests = [
+        EvaluationRequest(program, machine, setting)
+        for machine, _ in machines
+        for setting in (None, lean_setting)
+    ]
+    results = session.evaluate_batch(requests, jobs=2)
+
+    for index, (machine, label) in enumerate(machines):
+        o3_run, lean_run = results[2 * index], results[2 * index + 1]
+        speedup = o3_run.runtime / lean_run.runtime
         print(f"on {label}:")
         print(f"  -O3   {o3_run.cycles:12.3e} cycles   "
               f"IPC {o3_run.counters.ipc:.3f}   "
@@ -57,7 +64,7 @@ def main() -> None:
 
     # The 11 Table 1 counters of a single -O3 profiling run — exactly the
     # `c` part of the model's feature vector x = (c, d).
-    profile = simulate(aggressive, xscale())
+    profile = session.evaluate(program, xscale())
     print("Table 1 counters of the -O3 profiling run on the XScale:")
     for name, value in zip(COUNTER_NAMES, profile.counters.vector()):
         print(f"  {name:18s} {value:10.4f}")

@@ -40,17 +40,40 @@ from repro.machine import MicroArch, MicroArchSpace, xscale
 from repro.programs import build_program, mibench_names, mibench_program
 from repro.sim import SimulationResult, simulate
 
-__version__ = "1.0.0"
+# The unified façade (preferred entry point). The direct imports above are
+# kept as thin re-exports so pre-Session code continues to work.
+from repro.api import (
+    AnalyticBackend,
+    EvaluationRequest,
+    EvaluationResult,
+    PredictionResult,
+    SearchOutcome,
+    SearchRequest,
+    Session,
+    SimulatorBackend,
+    TraceBackend,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnalyticBackend",
     "CompiledBinary",
     "Compiler",
+    "EvaluationRequest",
+    "EvaluationResult",
     "FlagSetting",
     "FlagSpace",
     "MicroArch",
     "MicroArchSpace",
     "OptimisationPredictor",
+    "PredictionResult",
+    "SearchOutcome",
+    "SearchRequest",
+    "Session",
     "SimulationResult",
+    "SimulatorBackend",
+    "TraceBackend",
     "TrainingSet",
     "build_program",
     "mibench_names",

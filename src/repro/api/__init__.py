@@ -1,0 +1,53 @@
+"""repro.api — the unified front door to the reproduction pipeline.
+
+Everything the CLI, the experiments, the examples, and downstream users
+need goes through :class:`Session`:
+
+* **Evaluation** — :meth:`Session.evaluate` /
+  :meth:`Session.evaluate_batch` compile-and-simulate (program, setting,
+  machine) triples, optionally in parallel, against any registered
+  :class:`SimulatorBackend` (the fast analytic model or the trace-driven
+  reference tier).
+* **Model lifecycle** — :meth:`Session.fit`, :meth:`Session.predict`,
+  :meth:`Session.save_model`, :meth:`Session.load_model`.
+* **Search** — :meth:`Session.search` runs the iterative-compilation
+  baselines through the same backends.
+"""
+
+from repro.api.backends import (
+    BACKENDS,
+    AnalyticBackend,
+    SimulatorBackend,
+    TraceBackend,
+    resolve_backend,
+)
+from repro.parallel import EXECUTORS, resolve_jobs, run_batch
+from repro.api.persistence import load_predictor, save_predictor
+from repro.api.session import SEARCH_ALGORITHMS, Session
+from repro.api.types import (
+    EvaluationRequest,
+    EvaluationResult,
+    PredictionResult,
+    SearchOutcome,
+    SearchRequest,
+)
+
+__all__ = [
+    "AnalyticBackend",
+    "BACKENDS",
+    "EXECUTORS",
+    "EvaluationRequest",
+    "EvaluationResult",
+    "PredictionResult",
+    "SEARCH_ALGORITHMS",
+    "SearchOutcome",
+    "SearchRequest",
+    "Session",
+    "SimulatorBackend",
+    "TraceBackend",
+    "load_predictor",
+    "resolve_backend",
+    "resolve_jobs",
+    "run_batch",
+    "save_predictor",
+]

@@ -1,0 +1,424 @@
+"""The Session façade: one front door to the whole pipeline.
+
+A :class:`Session` owns the pieces every consumer used to hand-wire —
+compiler, flag space, machine space, simulator backend, dataset caches —
+and exposes the full train/predict/search/evaluate loop:
+
+    >>> from repro.api import Session
+    >>> session = Session(scale="tiny")
+    >>> session.fit()                               # train on the dataset
+    >>> machine = session.machines(1, seed=99)[0]
+    >>> session.predict("sha", machine).speedup_over_o3
+    >>> session.save_model("model.json")            # persist for deployment
+
+Batches of independent (program, setting, machine) triples run through
+:meth:`Session.evaluate_batch`, which fans out over threads or processes
+(the ``--jobs`` knob) and always returns results identical to serial
+execution, in request order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.api.backends import SimulatorBackend, resolve_backend
+from repro.api.persistence import load_predictor, save_predictor
+from repro.api.types import (
+    EvaluationRequest,
+    EvaluationResult,
+    PredictionResult,
+    SearchOutcome,
+    SearchRequest,
+)
+from repro.compiler.binary import CompiledBinary
+from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace, o3_setting
+from repro.compiler.ir import Program
+from repro.compiler.pipeline import Compiler
+from repro.core.predictor import (
+    DEFAULT_BETA,
+    DEFAULT_K,
+    DEFAULT_QUANTILE,
+    OptimisationPredictor,
+)
+from repro.core.training import TrainingSet
+from repro.experiments.config import Scale, preset
+from repro.experiments.dataset import ExperimentData, load_or_build
+from repro.machine.params import MicroArch, MicroArchSpace
+from repro.parallel import resolve_jobs, run_batch
+from repro.programs.mibench import mibench_program
+from repro.search.combined_elimination import combined_elimination
+from repro.search.evaluator import Evaluator
+from repro.search.genetic import genetic_search
+from repro.search.hillclimb import hill_climb
+from repro.search.random_search import random_search
+
+#: Registered iterative-compilation drivers: name -> (evaluator, budget,
+#: seed, space) -> SearchResult.  Aliases share an entry.
+SEARCH_ALGORITHMS: dict[str, Callable] = {
+    "random": lambda ev, budget, seed, space: random_search(
+        ev, budget, seed=seed, space=space
+    ),
+    "hillclimb": lambda ev, budget, seed, space: hill_climb(
+        ev, budget, seed=seed, space=space
+    ),
+    "genetic": lambda ev, budget, seed, space: genetic_search(
+        ev, budget, seed=seed, space=space
+    ),
+    "combined-elimination": lambda ev, budget, seed, space: combined_elimination(
+        ev, seed=seed, budget=budget, space=space
+    ),
+}
+SEARCH_ALGORITHMS["ce"] = SEARCH_ALGORITHMS["combined-elimination"]
+
+#: Per-process compiler for process-pool workers; built lazily so forked
+#: children that never evaluate pay nothing.
+_WORKER_COMPILER: Compiler | None = None
+
+
+def _evaluate_work(
+    work: tuple[Program, FlagSetting, MicroArch, SimulatorBackend],
+    compiler: Compiler | None = None,
+) -> EvaluationResult:
+    """One batch item; module-level so process pools can pickle it."""
+    global _WORKER_COMPILER
+    program, setting, machine, backend = work
+    if compiler is None:
+        if _WORKER_COMPILER is None:
+            _WORKER_COMPILER = Compiler()
+        compiler = _WORKER_COMPILER
+    binary = compiler.compile(program, setting)
+    simulation = backend.run(binary, machine)
+    return EvaluationResult(
+        program=program.name,
+        machine=machine,
+        setting=setting.canonical(),
+        backend=backend.name,
+        simulation=simulation,
+    )
+
+
+class Session:
+    """Owns compiler, spaces, caches, backend, and the fitted model.
+
+    Args:
+        scale: experiment scale preset name or :class:`Scale` (default
+            ``"quick"``); governs :meth:`dataset` and :meth:`fit`.
+        backend: default simulator backend (name, class, or instance).
+        jobs: default worker count for batches and dataset builds
+            (1 = serial, negative = all cores).
+        executor: default batch strategy — ``auto``, ``serial``,
+            ``thread``, or ``process``.
+        cache_dir: dataset cache root, overriding ``$REPRO_CACHE_DIR``.
+        use_disk_cache: disable to keep datasets in memory only.
+        compiler: share a memoising compiler across sessions if desired.
+    """
+
+    def __init__(
+        self,
+        scale: str | Scale | None = None,
+        *,
+        backend: object = "analytic",
+        jobs: int | None = 1,
+        executor: str = "auto",
+        cache_dir: str | Path | None = None,
+        use_disk_cache: bool = True,
+        compiler: Compiler | None = None,
+        flag_space: FlagSpace = DEFAULT_SPACE,
+        machine_space: MicroArchSpace | None = None,
+    ):
+        self.scale = self._resolve_scale(scale if scale is not None else "quick")
+        self.backend = resolve_backend(backend)
+        self.jobs = resolve_jobs(jobs)
+        self.executor = executor
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.use_disk_cache = use_disk_cache
+        self.compiler = compiler if compiler is not None else Compiler()
+        self.flag_space = flag_space
+        self.machine_space = (
+            machine_space
+            if machine_space is not None
+            else MicroArchSpace(extended=self.scale.extended)
+        )
+        self.model: OptimisationPredictor | None = None
+        self.model_fingerprint: str | None = None
+
+    # ------------------------------------------------------------- resolvers
+    @staticmethod
+    def _resolve_scale(scale: str | Scale) -> Scale:
+        return preset(scale) if isinstance(scale, str) else scale
+
+    def program(self, program: Program | str) -> Program:
+        """Resolve a MiBench name (or pass a Program through)."""
+        if isinstance(program, str):
+            try:
+                return mibench_program(program)
+            except KeyError:
+                from repro.programs.mibench import mibench_names
+
+                raise ValueError(
+                    f"unknown program {program!r}; "
+                    f"choose from {', '.join(mibench_names())}"
+                ) from None
+        return program
+
+    def machines(
+        self, count: int | None = None, seed: int | None = None
+    ) -> list[MicroArch]:
+        """Sample microarchitectures (defaults come from the scale)."""
+        return self.machine_space.sample(
+            count if count is not None else self.scale.n_machines,
+            seed=seed if seed is not None else self.scale.machine_seed,
+        )
+
+    def compile(
+        self, program: Program | str, setting: FlagSetting | None = None
+    ) -> CompiledBinary:
+        """Compile through the session's memoising compiler (default -O3)."""
+        return self.compiler.compile(
+            self.program(program),
+            setting if setting is not None else o3_setting(),
+        )
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(
+        self,
+        request: EvaluationRequest | Program | str,
+        machine: MicroArch | None = None,
+        setting: FlagSetting | None = None,
+        backend: object | None = None,
+    ) -> EvaluationResult:
+        """Compile-and-simulate one triple (default setting: -O3)."""
+        if not isinstance(request, EvaluationRequest):
+            if machine is None:
+                raise TypeError("evaluate() needs a machine")
+            request = EvaluationRequest(
+                program=request, machine=machine, setting=setting, backend=backend
+            )
+        return _evaluate_work(self._work_item(request), compiler=self.compiler)
+
+    def _work_item(
+        self, request: EvaluationRequest
+    ) -> tuple[Program, FlagSetting, MicroArch, SimulatorBackend]:
+        backend = (
+            self.backend
+            if request.backend is None
+            else resolve_backend(request.backend)
+        )
+        setting = request.setting if request.setting is not None else o3_setting()
+        return (self.program(request.program), setting, request.machine, backend)
+
+    def evaluate_batch(
+        self,
+        requests: Iterable[EvaluationRequest | tuple],
+        jobs: int | None = None,
+        executor: str | None = None,
+    ) -> list[EvaluationResult]:
+        """Evaluate many triples, preserving request order.
+
+        Requests may be :class:`EvaluationRequest` objects or
+        ``(program, machine[, setting])`` tuples.  With ``jobs > 1`` the
+        batch fans out over the chosen executor; results are identical to
+        a serial run.
+        """
+        normalised = [
+            request
+            if isinstance(request, EvaluationRequest)
+            else EvaluationRequest(*request)
+            for request in requests
+        ]
+        items = [self._work_item(request) for request in normalised]
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+        strategy = executor if executor is not None else self.executor
+        if strategy == "auto":
+            strategy = "process" if jobs > 1 else "serial"
+        if strategy != "process":
+            # Serial and thread runs share this process's memory, so they
+            # go through the session compiler and its memoisation.
+            def work(item):
+                return _evaluate_work(item, compiler=self.compiler)
+
+            return run_batch(work, items, jobs=jobs, executor=strategy)
+        return run_batch(_evaluate_work, items, jobs=jobs, executor=strategy)
+
+    def speedup_over_o3(
+        self,
+        program: Program | str,
+        machine: MicroArch,
+        setting: FlagSetting,
+        backend: object | None = None,
+    ) -> float:
+        """Speedup of ``setting`` over -O3 on one pair (> 1 is faster)."""
+        o3, tuned = self.evaluate_batch(
+            [
+                EvaluationRequest(program, machine, backend=backend),
+                EvaluationRequest(program, machine, setting, backend=backend),
+            ],
+            jobs=1,
+        )
+        return o3.runtime / tuned.runtime
+
+    # --------------------------------------------------------------- dataset
+    def dataset(
+        self,
+        scale: str | Scale | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> ExperimentData:
+        """The (cached) training dataset for a scale (default: session's)."""
+        resolved = self.scale if scale is None else self._resolve_scale(scale)
+        return load_or_build(
+            resolved,
+            progress=progress,
+            use_disk_cache=self.use_disk_cache,
+            cache_directory=self.cache_dir,
+            jobs=self.jobs,
+        )
+
+    # ---------------------------------------------------------- model lifecycle
+    def fit(
+        self,
+        training: TrainingSet | None = None,
+        *,
+        scale: str | Scale | None = None,
+        progress: Callable[[str], None] | None = None,
+        k: int = DEFAULT_K,
+        beta: float = DEFAULT_BETA,
+        quantile: float = DEFAULT_QUANTILE,
+        feature_mode: str = "both",
+    ) -> OptimisationPredictor:
+        """Fit the paper's model, remembering it and its data fingerprint."""
+        if training is None:
+            training = self.dataset(scale, progress=progress).training
+        model = OptimisationPredictor(
+            space=self.flag_space,
+            k=k,
+            beta=beta,
+            quantile=quantile,
+            feature_mode=feature_mode,
+        ).fit(training)
+        self.model = model
+        self.model_fingerprint = training.fingerprint()
+        return model
+
+    def predict(
+        self,
+        program: Program | str,
+        machine: MicroArch,
+        *,
+        exclude_program: str | None = None,
+        exclude_machine: MicroArch | None = None,
+        evaluate: bool = True,
+        backend: object | None = None,
+    ) -> PredictionResult:
+        """The §3.4 deployment flow: one -O3 profile run, then predict.
+
+        With ``evaluate=True`` the predicted setting is compiled and
+        simulated too, so the result carries its speedup over -O3.
+        """
+        if self.model is None:
+            raise RuntimeError("no model: call fit() or load_model() first")
+        resolved = self.program(program)
+        active_backend = (
+            self.backend if backend is None else resolve_backend(backend)
+        )
+        o3_binary = self.compile(resolved)
+        profile = active_backend.run(o3_binary, machine)
+
+        code_features = None
+        if self.model.feature_mode == "with_code":
+            from repro.core.code_features import static_code_features
+
+            code_features = static_code_features(o3_binary)
+        setting = self.model.predict(
+            profile.counters,
+            machine,
+            exclude_program=exclude_program,
+            exclude_machine=exclude_machine,
+            code_features=code_features,
+        )
+        predicted_run = None
+        if evaluate:
+            predicted_run = active_backend.run(
+                self.compile(resolved, setting), machine
+            )
+        return PredictionResult(
+            program=resolved.name,
+            machine=machine,
+            setting=setting,
+            profile=profile,
+            predicted_run=predicted_run,
+        )
+
+    def save_model(self, path: str | Path) -> Path:
+        """Persist the fitted model plus its training fingerprint."""
+        if self.model is None:
+            raise RuntimeError("no model to save: call fit() first")
+        return save_predictor(
+            self.model,
+            path,
+            fingerprint=self.model_fingerprint,
+            metadata={"scale": self.scale.name},
+        )
+
+    def load_model(self, path: str | Path) -> OptimisationPredictor:
+        """Load a persisted model into this session."""
+        predictor, provenance = load_predictor(path, space=self.flag_space)
+        self.model = predictor
+        self.model_fingerprint = provenance["fingerprint"]
+        return predictor
+
+    # ---------------------------------------------------------------- search
+    def evaluator(
+        self,
+        program: Program | str,
+        machine: MicroArch,
+        backend: object | None = None,
+    ) -> Evaluator:
+        """A memoising runtime oracle wired to a session backend."""
+        active_backend = (
+            self.backend if backend is None else resolve_backend(backend)
+        )
+        return Evaluator(
+            program=self.program(program),
+            machine=machine,
+            compiler=self.compiler,
+            simulate=active_backend.run,
+        )
+
+    def search(
+        self,
+        request: SearchRequest | None = None,
+        **kwargs,
+    ) -> SearchOutcome:
+        """Run one iterative-compilation baseline on a pair.
+
+        Accepts a :class:`SearchRequest` or its fields as keyword
+        arguments (``program``, ``machine``, ``algorithm``, ``budget``,
+        ``seed``, ``backend``).
+        """
+        if request is None:
+            request = SearchRequest(**kwargs)
+        elif kwargs:
+            raise TypeError("pass a SearchRequest or keyword fields, not both")
+        try:
+            driver = SEARCH_ALGORITHMS[request.algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown search algorithm {request.algorithm!r}; "
+                f"choose from {sorted(SEARCH_ALGORITHMS)}"
+            ) from None
+        evaluator = self.evaluator(
+            request.program, request.machine, backend=request.backend
+        )
+        o3_runtime = evaluator.o3_runtime()
+        result = driver(evaluator, request.budget, request.seed, self.flag_space)
+        return SearchOutcome(
+            program=evaluator.program.name,
+            machine=request.machine,
+            algorithm=request.algorithm,
+            best_setting=result.best_setting,
+            best_runtime=result.best_runtime,
+            o3_runtime=o3_runtime,
+            evaluations=result.evaluations,
+            trajectory=tuple(result.trajectory),
+        )

@@ -2,9 +2,14 @@
 
 Examples::
 
+    repro-experiments list
     repro-experiments headline --scale quick
-    repro-experiments fig6 fig7 --scale default
-    repro-experiments all --scale quick
+    repro-experiments fig6 fig7 --scale default --jobs 4
+    repro-experiments all --scale quick --cache-dir /tmp/repro-cache
+
+All experiments go through one :class:`repro.api.Session`, which owns the
+dataset caches and fans the expensive dataset build out over ``--jobs``
+worker processes.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import argparse
 import sys
 import time
 
+from repro.api import Session
 from repro.experiments import (
     beta_sweep,
     feature_mode_sweep,
@@ -29,34 +35,46 @@ from repro.experiments import (
     iid_vs_joint,
     iterations_to_match,
     knn_k_sweep,
-    load_or_build,
-    preset,
     quantile_sweep,
     table1,
     table2,
 )
 
-#: experiment name -> (needs data, runner)
+#: experiment name -> (needs data, runner, one-line description)
 EXPERIMENTS = {
-    "table1": (True, table1),
-    "table2": (False, lambda: table2()),
-    "fig1": (True, figure1),
-    "fig3": (False, lambda: figure3()),
-    "fig4": (True, figure4),
-    "fig5": (True, figure5),
-    "fig6": (True, figure6),
-    "fig7": (True, figure7),
-    "fig8": (True, figure8),
-    "fig9": (True, figure9),
-    "fig10": (True, figure10),
-    "headline": (True, headline),
-    "iterations": (True, iterations_to_match),
-    "ablate-k": (True, knn_k_sweep),
-    "ablate-beta": (True, beta_sweep),
-    "ablate-quantile": (True, quantile_sweep),
-    "ablate-features": (True, feature_mode_sweep),
-    "ablate-iid": (True, iid_vs_joint),
+    "table1": (True, table1, "the 11 hardware counters of one -O3 profile run"),
+    "table2": (False, lambda: table2(), "the 288,000-point microarchitecture space"),
+    "fig1": (True, figure1, "per-pass speedup spread across machines (§2 motivation)"),
+    "fig3": (False, lambda: figure3(), "the 39-dimension optimisation space census"),
+    "fig4": (True, figure4, "best-found speedup per program (the 'Best' upper bound)"),
+    "fig5": (True, figure5, "speedup surface across the machine space"),
+    "fig6": (True, figure6, "predicted vs best speedup per program (leave-one-out)"),
+    "fig7": (True, figure7, "predicted vs best speedup per microarchitecture"),
+    "fig8": (True, figure8, "Hinton diagram: flag vs speedup mutual information"),
+    "fig9": (True, figure9, "Hinton diagram: feature vs best-flag mutual information"),
+    "fig10": (True, figure10, "extended space (frequency + issue width) results"),
+    "headline": (True, headline, "the paper's headline 'x% of Best' numbers"),
+    "iterations": (True, iterations_to_match, "search evaluations to match the model"),
+    "ablate-k": (True, knn_k_sweep, "sensitivity to the KNN neighbour count K"),
+    "ablate-beta": (True, beta_sweep, "sensitivity to the softmax temperature β"),
+    "ablate-quantile": (True, quantile_sweep, "sensitivity to the 'good' quantile"),
+    "ablate-features": (True, feature_mode_sweep, "counters-only vs descriptors-only"),
+    "ablate-iid": (True, iid_vs_joint, "IID factorisation vs joint voting"),
 }
+
+
+def list_experiments() -> str:
+    """Render the ``list`` subcommand's experiment catalogue."""
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = ["available experiments:"]
+    for name, (needs_data, _, description) in EXPERIMENTS.items():
+        tag = "dataset" if needs_data else "static "
+        lines.append(f"  {name:<{width}s}  [{tag}]  {description}")
+    lines.append(
+        "\nrun with: repro-experiments <name>... [--scale S] [--jobs N] "
+        "[--cache-dir DIR], or 'all' for everything"
+    )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+        help=f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', or 'list'",
     )
     parser.add_argument(
         "--scale",
@@ -75,16 +93,32 @@ def main(argv: list[str] | None = None) -> int:
         help="scale preset: tiny, quick, default, paper (default: quick)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the dataset build (negative: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="dataset cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        print(list_experiments())
+        return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
-    scale = preset(args.scale)
+    session = Session(args.scale, jobs=args.jobs, cache_dir=args.cache_dir)
+    scale = session.scale
     progress = None if args.quiet else lambda message: print(f"  .. {message}")
 
     data = None
@@ -95,12 +129,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"building dataset [{scale.name}]: {len(scale.programs)} programs x "
                 f"{scale.n_machines} machines x {scale.n_settings} settings"
             )
-        data = load_or_build(scale, progress=progress)
+        data = session.dataset(progress=progress)
         if not args.quiet:
             print(f"dataset ready in {time.time() - started:.1f}s\n")
 
     for name in names:
-        needs_data, runner = EXPERIMENTS[name]
+        needs_data, runner, _ = EXPERIMENTS[name]
         result = runner(data) if needs_data else runner()
         print(result.render())
         print()

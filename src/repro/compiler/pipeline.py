@@ -90,6 +90,10 @@ class Compiler:
             self._cache[key] = binary
         return binary
 
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache_enabled
+
     def cache_info(self) -> dict[str, int]:
         return {"entries": len(self._cache)}
 

@@ -14,6 +14,7 @@ consults data from the program or microarchitecture it is predicting for.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -113,6 +114,80 @@ class OptimisationPredictor:
     @property
     def is_fitted(self) -> bool:
         return bool(self._pairs)
+
+    # ----------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """A JSON-serialisable snapshot of the fitted model.
+
+        Floats survive a JSON round trip exactly (Python serialises the
+        shortest repr that reparses to the same value), so a model restored
+        by :meth:`from_state` reproduces predictions bit-for-bit.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("cannot snapshot an unfitted predictor")
+        return {
+            "params": {
+                "k": self.k,
+                "beta": self.beta,
+                "quantile": self.quantile,
+                "extended": self.extended,
+                "feature_mode": self.feature_mode,
+            },
+            "space_names": list(self.space.names),
+            "mask": [bool(flag) for flag in self._mask],
+            "normaliser": {
+                "mean": self._normaliser.mean.tolist(),
+                "std": self._normaliser.std.tolist(),
+            },
+            "pairs": [
+                {
+                    "program": pair.program,
+                    "machine": dataclasses.asdict(pair.machine),
+                    "features": pair.features.tolist(),
+                    "theta": [probs.tolist() for probs in pair.distribution.theta],
+                }
+                for pair in self._pairs
+            ],
+        }
+
+    @staticmethod
+    def from_state(
+        state: dict, space: FlagSpace = DEFAULT_SPACE
+    ) -> "OptimisationPredictor":
+        """Rebuild a fitted predictor from :meth:`get_state` output."""
+        if list(state["space_names"]) != list(space.names):
+            raise ValueError(
+                "saved model's flag space does not match this build"
+            )
+        params = state["params"]
+        predictor = OptimisationPredictor(
+            space=space,
+            k=int(params["k"]),
+            beta=float(params["beta"]),
+            quantile=float(params["quantile"]),
+            extended=bool(params["extended"]),
+            feature_mode=str(params["feature_mode"]),
+        )
+        predictor._mask = np.array(state["mask"], dtype=bool)
+        predictor._normaliser = FeatureNormaliser(
+            mean=np.array(state["normaliser"]["mean"], dtype=float),
+            std=np.array(state["normaliser"]["std"], dtype=float),
+        )
+        predictor._pairs = [
+            _TrainingPair(
+                program=entry["program"],
+                machine=MicroArch(**entry["machine"]),
+                features=np.array(entry["features"], dtype=float),
+                distribution=IIDDistribution(
+                    space=space,
+                    theta=[
+                        np.array(probs, dtype=float) for probs in entry["theta"]
+                    ],
+                ),
+            )
+            for entry in state["pairs"]
+        ]
+        return predictor
 
     def _query_vector(
         self,

@@ -10,14 +10,16 @@ per setting and the binary timed on every machine), matching the paper's
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, o3_setting
+from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace, o3_setting
 from repro.compiler.ir import Program
 from repro.compiler.pipeline import Compiler
+from repro.parallel import resolve_jobs, run_batch
 from repro.core.distribution import IIDDistribution, good_settings_by_runtime
 from repro.machine.params import MicroArch
 from repro.sim.analytic import simulate_analytic
@@ -97,6 +99,75 @@ class TrainingSet:
         """g(y|X) for one training pair (eqs. 4–5)."""
         return IIDDistribution.fit(self.good_settings(program, machine, quantile))
 
+    def fingerprint(self) -> str:
+        """Content digest of the whole training set.
+
+        Covers programs, machines, settings, and every measured runtime, so
+        a model persisted alongside this fingerprint can be checked against
+        the data that produced it.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr(self.program_names).encode())
+        for machine in self.machines:
+            digest.update(repr(machine).encode())
+        for setting in self.settings:
+            digest.update(repr(setting.as_indices()).encode())
+        for array in (self.runtimes, self.o3_runtimes, self.counters):
+            digest.update(np.ascontiguousarray(array, dtype=float).tobytes())
+        if self.code_features is not None:
+            digest.update(
+                np.ascontiguousarray(self.code_features, dtype=float).tobytes()
+            )
+        digest.update(repr(self.extended).encode())
+        return digest.hexdigest()[:16]
+
+
+def _program_rows(
+    program: Program,
+    machines: Sequence[MicroArch],
+    settings: Sequence[FlagSetting],
+    compiler: Compiler | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One program's slice of the training matrices.
+
+    Deterministic in its inputs alone, so worker processes computing
+    different programs produce exactly what a serial loop would.
+    """
+    from repro.core.code_features import static_code_features
+
+    active_compiler = compiler if compiler is not None else Compiler()
+    S, M = len(settings), len(machines)
+    runtimes = np.empty((S, M), dtype=float)
+    o3_runtimes = np.empty(M, dtype=float)
+    counters = np.empty((M, len(COUNTER_NAMES)), dtype=float)
+
+    o3_binary = active_compiler.compile(program, o3_setting())
+    code_features = np.asarray(static_code_features(o3_binary), dtype=float)
+    for m, machine in enumerate(machines):
+        result = simulate_analytic(o3_binary, machine)
+        o3_runtimes[m] = result.seconds
+        counters[m, :] = result.counters.vector()
+    for s, setting in enumerate(settings):
+        binary = active_compiler.compile(program, setting)
+        for m, machine in enumerate(machines):
+            runtimes[s, m] = simulate_analytic(binary, machine).seconds
+    return runtimes, o3_runtimes, counters, code_features
+
+
+def _program_rows_task(
+    work: tuple[Program, Sequence[MicroArch], Sequence[FlagSetting], FlagSpace, bool],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Picklable process-pool entry point.
+
+    The caller's compiler cannot cross the process boundary, so each task
+    rebuilds one from its configuration — keeping parallel results
+    identical to serial ones even for non-default compilers.
+    """
+    program, machines, settings, space, cache = work
+    return _program_rows(
+        program, machines, settings, Compiler(space=space, cache=cache)
+    )
+
 
 def generate_training_set(
     programs: Sequence[Program],
@@ -106,13 +177,19 @@ def generate_training_set(
     extended: bool = False,
     compiler: Compiler | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> TrainingSet:
-    """Evaluate ``n_settings`` random settings on every pair (§3.2)."""
+    """Evaluate ``n_settings`` random settings on every pair (§3.2).
+
+    With ``jobs > 1`` (negative: all cores) the per-program work — the
+    embarrassingly parallel axis, since each program is compiled and
+    simulated independently — fans out over a process pool; results are
+    identical to a serial run.
+    """
     active_compiler = compiler if compiler is not None else Compiler()
     settings = DEFAULT_SPACE.sample_many(n_settings, seed)
-    baseline = o3_setting()
 
-    from repro.core.code_features import CODE_FEATURE_NAMES, static_code_features
+    from repro.core.code_features import CODE_FEATURE_NAMES
 
     P, S, M = len(programs), len(settings), len(machines)
     runtimes = np.empty((P, S, M), dtype=float)
@@ -120,19 +197,40 @@ def generate_training_set(
     counters = np.empty((P, M, len(COUNTER_NAMES)), dtype=float)
     code_features = np.empty((P, len(CODE_FEATURE_NAMES)), dtype=float)
 
-    for p, program in enumerate(programs):
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and P > 1:
         if progress is not None:
-            progress(f"training data: {program.name} ({p + 1}/{P})")
-        o3_binary = active_compiler.compile(program, baseline)
-        code_features[p, :] = static_code_features(o3_binary)
-        for m, machine in enumerate(machines):
-            result = simulate_analytic(o3_binary, machine)
-            o3_runtimes[p, m] = result.seconds
-            counters[p, m, :] = result.counters.vector()
-        for s, setting in enumerate(settings):
-            binary = active_compiler.compile(program, setting)
-            for m, machine in enumerate(machines):
-                runtimes[p, s, m] = simulate_analytic(binary, machine).seconds
+            progress(f"training data: {P} programs across {jobs} workers")
+        rows = run_batch(
+            _program_rows_task,
+            [
+                (
+                    program,
+                    list(machines),
+                    settings,
+                    active_compiler.space,
+                    active_compiler.cache_enabled,
+                )
+                for program in programs
+            ],
+            jobs=jobs,
+            executor="process",
+        )
+        for p, (run_slab, o3_row, counter_rows, code_row) in enumerate(rows):
+            runtimes[p] = run_slab
+            o3_runtimes[p] = o3_row
+            counters[p] = counter_rows
+            code_features[p] = code_row
+    else:
+        for p, program in enumerate(programs):
+            if progress is not None:
+                progress(f"training data: {program.name} ({p + 1}/{P})")
+            (
+                runtimes[p],
+                o3_runtimes[p],
+                counters[p],
+                code_features[p],
+            ) = _program_rows(program, machines, settings, active_compiler)
 
     return TrainingSet(
         program_names=[program.name for program in programs],

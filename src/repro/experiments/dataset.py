@@ -40,7 +40,10 @@ class ExperimentData:
 _MEMORY_CACHE: dict[str, ExperimentData] = {}
 
 
-def cache_dir() -> Path:
+def cache_dir(override: str | Path | None = None) -> Path:
+    """The dataset cache root: explicit override > $REPRO_CACHE_DIR > cwd."""
+    if override is not None:
+        return Path(override)
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
 
 
@@ -97,8 +100,15 @@ def load_or_build(
     scale: Scale,
     progress: Callable[[str], None] | None = None,
     use_disk_cache: bool = True,
+    cache_directory: str | Path | None = None,
+    jobs: int = 1,
 ) -> ExperimentData:
-    """Return the experiment data for ``scale``, building it if needed."""
+    """Return the experiment data for ``scale``, building it if needed.
+
+    ``cache_directory`` overrides the ``$REPRO_CACHE_DIR`` default and
+    ``jobs`` fans the per-program build work over a process pool; neither
+    changes the resulting data.
+    """
     key = scale.fingerprint()
     if key in _MEMORY_CACHE:
         return _MEMORY_CACHE[key]
@@ -108,7 +118,7 @@ def load_or_build(
     compiler = Compiler()
 
     training = None
-    path = cache_dir() / f"training-{scale.name}-{key}"
+    path = cache_dir(cache_directory) / f"training-{scale.name}-{key}"
     if use_disk_cache:
         training = _load(path)
     if training is None:
@@ -120,6 +130,7 @@ def load_or_build(
             extended=scale.extended,
             compiler=compiler,
             progress=progress,
+            jobs=jobs,
         )
         if use_disk_cache:
             _save(path, training)

@@ -1,0 +1,67 @@
+"""Executor strategies for embarrassingly parallel batches.
+
+Compile-and-simulate of independent (program, setting, machine) triples
+has no shared state, so a batch can run serially, on a thread pool, or on
+a process pool.  Everything here guarantees *order preservation and
+result equality*: whichever strategy runs, item ``i`` of the output is
+the result of item ``i`` of the input, computed by the same deterministic
+function — so parallel output is bit-identical to serial output.
+
+Process workers must be able to pickle the work function and its items;
+callers pass a module-level function for that reason.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognised executor strategies.
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` knob: None/0 → 1, negative → all cores."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def run_batch(
+    function: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    jobs: int | None = 1,
+    executor: str = "auto",
+) -> list[R]:
+    """Apply ``function`` to every item, preserving order.
+
+    Args:
+        function: deterministic per-item work; must be picklable (a
+            module-level function) for the process strategy.
+        items: the work items.
+        jobs: worker count; 1 (or None/0) forces serial, negative uses
+            every core.
+        executor: ``serial``, ``thread``, ``process``, or ``auto``
+            (process when ``jobs > 1``, else serial).
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}"
+        )
+    items = list(items)
+    workers = min(resolve_jobs(jobs), max(len(items), 1))
+    if executor == "auto":
+        executor = "process" if workers > 1 else "serial"
+    if executor == "serial" or workers <= 1:
+        return [function(item) for item in items]
+    pool_type = (
+        ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    )
+    with pool_type(max_workers=workers) as pool:
+        return list(pool.map(function, items))

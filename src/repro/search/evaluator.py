@@ -10,21 +10,29 @@ would cache results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
+from repro.compiler.binary import CompiledBinary
 from repro.compiler.flags import FlagSetting, o3_setting
 from repro.compiler.ir import Program
 from repro.compiler.pipeline import Compiler
 from repro.machine.params import MicroArch
-from repro.sim.analytic import simulate_analytic
+from repro.sim.analytic import SimulationResult, simulate_analytic
 
 
 @dataclass
 class Evaluator:
-    """Runtime oracle for one (program, machine) pair."""
+    """Runtime oracle for one (program, machine) pair.
+
+    ``simulate`` makes the timing tier pluggable: it defaults to the fast
+    analytic model, and :class:`repro.api.Session` injects a simulator
+    backend's ``run`` here so searches can target the trace tier too.
+    """
 
     program: Program
     machine: MicroArch
     compiler: Compiler = field(default_factory=Compiler)
+    simulate: Callable[[CompiledBinary, MicroArch], SimulationResult] | None = None
 
     def __post_init__(self) -> None:
         self._cache: dict[FlagSetting, float] = {}
@@ -36,7 +44,8 @@ class Evaluator:
         if canonical in self._cache:
             return self._cache[canonical]
         binary = self.compiler.compile(self.program, canonical)
-        runtime = simulate_analytic(binary, self.machine).seconds
+        runner = self.simulate if self.simulate is not None else simulate_analytic
+        runtime = runner(binary, self.machine).seconds
         self._cache[canonical] = runtime
         self.evaluations += 1
         return runtime
@@ -46,6 +55,16 @@ class Evaluator:
 
     def speedup(self, setting: FlagSetting) -> float:
         return self.o3_runtime() / self.evaluate(setting)
+
+
+def evaluations_to_reach(
+    trajectory: Sequence[float], target_runtime: float
+) -> int | None:
+    """First evaluation index (1-based) reaching ``target_runtime``."""
+    for index, runtime in enumerate(trajectory, start=1):
+        if runtime <= target_runtime:
+            return index
+    return None
 
 
 @dataclass
@@ -61,7 +80,4 @@ class SearchResult:
 
     def evaluations_to_reach(self, target_runtime: float) -> int | None:
         """First evaluation index (1-based) reaching ``target_runtime``."""
-        for index, runtime in enumerate(self.trajectory, start=1):
-            if runtime <= target_runtime:
-                return index
-        return None
+        return evaluations_to_reach(self.trajectory, target_runtime)

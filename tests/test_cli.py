@@ -28,6 +28,25 @@ class TestCli:
         assert "Figure 4" in output
         assert "AVERAGE" in output
 
+    def test_list_subcommand(self, capsys):
+        assert cli.main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in cli.EXPERIMENTS:
+            assert name in output
+        assert "available experiments" in output
+
+    def test_jobs_and_cache_dir_flags_accepted(self, tmp_path):
+        assert cli.main(
+            [
+                "table2",
+                "--quiet",
+                "--jobs",
+                "2",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        ) == 0
+
     def test_all_includes_every_experiment_name(self):
         assert set(cli.EXPERIMENTS) >= {
             "table1",

@@ -7,6 +7,7 @@ from repro.machine.xscale import xscale
 from repro.programs import mibench_program
 from repro.search import (
     Evaluator,
+    SearchResult,
     combined_elimination,
     genetic_search,
     hill_climb,
@@ -149,3 +150,102 @@ class TestBaselineComparison:
         o3_runtime = Evaluator(program, xscale()).evaluate(o3_setting())
         for name, runtime in results.items():
             assert runtime < o3_runtime * 1.2, name
+
+
+class TestSearchResultEdgeCases:
+    def test_empty_trajectory_reaches_nothing(self):
+        result = SearchResult(
+            best_setting=o3_setting(),
+            best_runtime=1.0,
+            evaluations=0,
+            trajectory=[],
+        )
+        assert result.evaluations_to_reach(0.0) is None
+        assert result.evaluations_to_reach(float("inf")) is None
+
+    def test_unreachable_target_returns_none(self):
+        result = SearchResult(
+            best_setting=o3_setting(),
+            best_runtime=2.0,
+            evaluations=3,
+            trajectory=[4.0, 3.0, 2.0],
+        )
+        assert result.evaluations_to_reach(1.9) is None
+
+    def test_first_reaching_index_is_one_based(self):
+        result = SearchResult(
+            best_setting=o3_setting(),
+            best_runtime=2.0,
+            evaluations=4,
+            trajectory=[4.0, 3.0, 2.0, 2.0],
+        )
+        assert result.evaluations_to_reach(4.0) == 1
+        assert result.evaluations_to_reach(3.5) == 2
+        assert result.evaluations_to_reach(2.0) == 3
+
+    def test_target_equal_to_entry_counts_as_reached(self):
+        result = SearchResult(
+            best_setting=o3_setting(),
+            best_runtime=5.0,
+            evaluations=1,
+            trajectory=[5.0],
+        )
+        assert result.evaluations_to_reach(5.0) == 1
+
+
+class TestEvaluatorBackendInjection:
+    def test_custom_simulate_callable_used(self):
+        calls = []
+
+        class _StubResult:
+            seconds = 42.0
+
+        def stub_simulate(binary, machine):
+            calls.append(machine)
+            return _StubResult()
+
+        evaluator = Evaluator(
+            mibench_program("crc"), xscale(), simulate=stub_simulate
+        )
+        assert evaluator.evaluate(o3_setting()) == 42.0
+        assert len(calls) == 1
+        assert evaluator.evaluations == 1
+
+    def test_cache_hit_skips_simulator_and_counter(self):
+        calls = []
+
+        class _StubResult:
+            seconds = 1.0
+
+        def stub_simulate(binary, machine):
+            calls.append(1)
+            return _StubResult()
+
+        evaluator = Evaluator(
+            mibench_program("crc"), xscale(), simulate=stub_simulate
+        )
+        evaluator.evaluate(o3_setting())
+        evaluator.evaluate(o3_setting())
+        assert len(calls) == 1
+        assert evaluator.evaluations == 1
+
+    def test_canonical_aliases_share_one_evaluation(self):
+        calls = []
+
+        class _StubResult:
+            seconds = 1.0
+
+        def stub_simulate(binary, machine):
+            calls.append(1)
+            return _StubResult()
+
+        evaluator = Evaluator(
+            mibench_program("crc"), xscale(), simulate=stub_simulate
+        )
+        # funroll_loops is off, so its gated parameters are behaviourally
+        # inert: all three settings alias to one canonical compilation.
+        evaluator.evaluate(o3_setting().with_values(param_max_unroll_times=2))
+        evaluator.evaluate(o3_setting().with_values(param_max_unroll_times=16))
+        evaluator.evaluate(o3_setting())
+        assert len(calls) == 1
+        assert evaluator.evaluations == 1
