@@ -1,0 +1,89 @@
+"""Micro-benchmarks: experiment-store shard I/O and the shard hot path.
+
+These are the per-unit costs that determine dataset-build wall-clock:
+writing/reading one checkpointed shard, the compile-once/simulate-many
+shard computation, and (as a contrast) the naive compile-per-simulation
+loop it replaces.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import itertools
+
+from repro.compiler.flags import DEFAULT_SPACE
+from repro.compiler.pipeline import Compiler
+from repro.machine.params import MicroArchSpace
+from repro.programs import mibench_program
+from repro.sim import simulate_analytic
+from repro.store import ExperimentStore, GridSpec, ShardKey, compute_shard
+
+#: One representative shard: a small program across an 8-machine chunk.
+N_MACHINES = 8
+N_SETTINGS = 12
+
+
+def _grid() -> GridSpec:
+    return GridSpec(
+        program_names=("search",),
+        machines=tuple(MicroArchSpace().sample(N_MACHINES, seed=42)),
+        settings=tuple(DEFAULT_SPACE.sample_many(N_SETTINGS, seed=7)),
+        chunk_machines=N_MACHINES,
+    )
+
+
+def _shard_arrays(grid: GridSpec):
+    return compute_shard(
+        mibench_program("search"), list(grid.machines), list(grid.settings)
+    )
+
+
+def test_shard_write(benchmark, tmp_path):
+    """One checkpoint: atomic npz + fingerprinted sidecar."""
+    grid = _grid()
+    arrays = _shard_arrays(grid)
+    key = ShardKey(0, 0)
+    counter = itertools.count()
+
+    def fresh_store():
+        # Shards are append-only, so each round writes into a new store.
+        return (ExperimentStore(grid, root=tmp_path / f"s{next(counter)}"),), {}
+
+    benchmark.pedantic(
+        lambda store: store.write_shard(key, arrays),
+        setup=fresh_store,
+        rounds=30,
+    )
+
+
+def test_shard_read_verified(benchmark, tmp_path):
+    """One digest-verified shard load (the resume/assemble path)."""
+    grid = _grid()
+    store = ExperimentStore(grid, root=tmp_path / "store")
+    key = ShardKey(0, 0)
+    store.write_shard(key, _shard_arrays(grid))
+    result = benchmark(store.read_shard, key)
+    assert result[0].shape == (N_SETTINGS, N_MACHINES)
+
+
+def test_compute_shard_compile_once(benchmark):
+    """The hot path: each binary compiled once, simulated on every machine."""
+    grid = _grid()
+    program = mibench_program("search")
+    machines, settings = list(grid.machines), list(grid.settings)
+    result = benchmark(
+        lambda: compute_shard(program, machines, settings, Compiler(cache=False))
+    )
+    assert result[0].shape == (N_SETTINGS, N_MACHINES)
+
+
+def test_compute_shard_naive_recompile(benchmark):
+    """Contrast: recompiling per (setting, machine) — what sharding avoids."""
+    grid = _grid()
+    program = mibench_program("search")
+    machines, settings = list(grid.machines), list(grid.settings)
+
+    def naive():
+        compiler = Compiler(cache=False)
+        for setting in settings:
+            for machine in machines:
+                simulate_analytic(compiler.compile(program, setting), machine)
+
+    benchmark(naive)

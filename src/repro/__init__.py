@@ -26,6 +26,10 @@ The package is organised around the paper's Figure 2 pipeline:
   algorithm and combined elimination.
 * :mod:`repro.experiments` — one reproduction entry point per table and
   figure in the paper's evaluation.
+* :mod:`repro.store` — the sharded, resumable experiment store: dataset
+  generation checkpointed as append-only fingerprinted shards, built
+  through a compile-once/simulate-many hot path, bit-identical however
+  (and however often) a run is interrupted.
 """
 
 from repro.compiler import (

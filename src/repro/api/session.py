@@ -43,7 +43,14 @@ from repro.core.predictor import (
 )
 from repro.core.training import TrainingSet
 from repro.experiments.config import Scale, preset
-from repro.experiments.dataset import ExperimentData, load_or_build
+from repro.experiments.dataset import (
+    ExperimentData,
+    experiment_store,
+    grid_for_scale,
+    load_or_build,
+    store_status,
+)
+from repro.store import ExperimentRunner, ExperimentStore, StoreStatus
 from repro.machine.params import MicroArch, MicroArchSpace
 from repro.parallel import resolve_jobs, run_batch
 from repro.programs.mibench import mibench_program
@@ -142,6 +149,9 @@ class Session:
         )
         self.model: OptimisationPredictor | None = None
         self.model_fingerprint: str | None = None
+        #: Cache-less sessions keep one in-memory store per scale so
+        #: build_dataset/dataset_status/dataset all see the same shards.
+        self._memory_stores: dict[str, ExperimentStore] = {}
 
     # ------------------------------------------------------------- resolvers
     @staticmethod
@@ -264,15 +274,81 @@ class Session:
         scale: str | Scale | None = None,
         progress: Callable[[str], None] | None = None,
     ) -> ExperimentData:
-        """The (cached) training dataset for a scale (default: session's)."""
+        """The (cached) training dataset for a scale (default: session's).
+
+        Builds run through the sharded :mod:`repro.store` store, so an
+        interrupted build resumes from its last completed shard; the
+        assembled data is bit-identical however it was produced.
+        """
         resolved = self.scale if scale is None else self._resolve_scale(scale)
-        return load_or_build(
+        store = None if self.use_disk_cache else self.experiment_store(resolved)
+        data = load_or_build(
             resolved,
             progress=progress,
             use_disk_cache=self.use_disk_cache,
             cache_directory=self.cache_dir,
             jobs=self.jobs,
+            executor=self.executor,
+            store=store,
         )
+        if store is not None and not store.is_complete():
+            # The dataset was memoised by an earlier (possibly other-
+            # session) build; absorb it so this session's store, status,
+            # and dataset stay consistent.
+            store.adopt(data.training)
+        return data
+
+    def experiment_store(
+        self, scale: str | Scale | None = None
+    ) -> ExperimentStore:
+        """The shard store backing a scale's dataset.
+
+        On disk under the session's cache directory, or — when the
+        session was created with ``use_disk_cache=False`` — a per-scale
+        in-memory store (same API, nothing written) owned by this
+        session, so partial builds survive across calls.
+        """
+        resolved = self.scale if scale is None else self._resolve_scale(scale)
+        if not self.use_disk_cache:
+            key = resolved.fingerprint()
+            store = self._memory_stores.get(key)
+            if store is None:
+                store = ExperimentStore(grid_for_scale(resolved), root=None)
+                self._memory_stores[key] = store
+            return store
+        return experiment_store(resolved, cache_directory=self.cache_dir)
+
+    def dataset_status(self, scale: str | Scale | None = None) -> StoreStatus:
+        """Shard-completion snapshot of a scale's store (read-only)."""
+        resolved = self.scale if scale is None else self._resolve_scale(scale)
+        if not self.use_disk_cache:
+            return self.experiment_store(resolved).status()
+        return store_status(resolved, cache_directory=self.cache_dir)
+
+    def build_dataset(
+        self,
+        scale: str | Scale | None = None,
+        max_shards: int | None = None,
+        progress: Callable[[str], None] | None = None,
+        store: ExperimentStore | None = None,
+    ) -> int:
+        """Advance a scale's store by up to ``max_shards`` shards.
+
+        Each completed shard is checkpointed, so this can be called
+        repeatedly — across processes, interruptions, and executors — and
+        the store converges on the same bit-identical dataset.  Pass an
+        already-opened ``store`` to avoid re-sampling the grid.  Returns
+        the number of shards computed by this call.
+        """
+        if store is None:
+            store = self.experiment_store(scale)
+        runner = ExperimentRunner(
+            store,
+            compiler=self.compiler,
+            jobs=self.jobs,
+            executor=self.executor,
+        )
+        return runner.run(max_shards=max_shards, progress=progress)
 
     # ---------------------------------------------------------- model lifecycle
     def fit(

@@ -7,9 +7,17 @@ Examples::
     repro-experiments fig6 fig7 --scale default --jobs 4
     repro-experiments all --scale quick --cache-dir /tmp/repro-cache
 
+    repro-experiments run --scale paper --jobs -1        # build the dataset
+    repro-experiments run --scale paper --resume         # continue after a kill
+    repro-experiments run --scale paper --max-shards 50  # budgeted increments
+    repro-experiments status --scale paper               # shard completion
+
 All experiments go through one :class:`repro.api.Session`, which owns the
 dataset caches and fans the expensive dataset build out over ``--jobs``
-worker processes.
+workers.  Datasets are built through the sharded, resumable store of
+:mod:`repro.store`: ``run`` checkpoints every completed (program,
+machine-chunk) shard, ``status`` reports progress, and an interrupted
+build continues with ``--resume`` instead of starting over.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import sys
 import time
 
 from repro.api import Session
+from repro.experiments.dataset import adopt_legacy_cache, store_root
 from repro.experiments import (
     beta_sweep,
     feature_mode_sweep,
@@ -74,7 +83,76 @@ def list_experiments() -> str:
         "\nrun with: repro-experiments <name>... [--scale S] [--jobs N] "
         "[--cache-dir DIR], or 'all' for everything"
     )
+    lines.append(
+        "dataset store: repro-experiments run [--resume] [--max-shards N] "
+        "[--executor E] | status"
+    )
     return "\n".join(lines)
+
+
+def _run_store(args, parser) -> int:
+    """The ``run`` subcommand: build/resume a scale's shard store."""
+    if args.max_shards is not None and args.max_shards < 1:
+        parser.error("--max-shards must be >= 1")
+    session = Session(
+        args.scale,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
+    # One store object for the whole command: the grid (machines plus
+    # settings) is sampled once and shard sidecars are only re-scanned
+    # where the answer can have changed.
+    store = session.experiment_store()
+    adopted = adopt_legacy_cache(session.scale, store, args.cache_dir)
+    if adopted and not args.quiet:
+        print(f"adopted {adopted} shards from the legacy single-file cache")
+    status = store.status()
+    if status.complete:
+        print(f"dataset already complete ({status.total_shards} shards)")
+        if not args.quiet:
+            print(status.render())
+        return 0
+    if status.completed_shards and not args.resume:
+        parser.error(
+            f"store at {status.root} already holds "
+            f"{status.completed_shards}/{status.total_shards} shards; "
+            "pass --resume to continue the interrupted build"
+        )
+    progress = None if args.quiet else lambda message: print(f"  .. {message}")
+    started = time.time()
+    done = session.build_dataset(
+        max_shards=args.max_shards, progress=progress, store=store
+    )
+    final = store.status()
+    print(
+        f"computed {done} shards in {time.time() - started:.1f}s "
+        f"({final.completed_shards}/{final.total_shards} complete)"
+    )
+    if final.complete:
+        print(f"store fingerprint: {store.fingerprint()}")
+    else:
+        hint = f"repro-experiments run --scale {session.scale.name} --resume"
+        if args.cache_dir is not None:
+            # Without this the hinted command would look in the default
+            # cache and silently start a fresh build.
+            hint += f" --cache-dir {args.cache_dir}"
+        print(f"resume with: {hint}")
+    return 0
+
+
+def _store_status(args) -> int:
+    """The ``status`` subcommand: report a scale's shard completion."""
+    session = Session(args.scale, cache_dir=args.cache_dir)
+    root = store_root(session.scale, args.cache_dir)
+    if not root.exists():
+        print(
+            f"no store for scale {session.scale.name!r} at {root}\n"
+            f"start one with: repro-experiments run --scale {session.scale.name}"
+        )
+        return 0
+    print(session.dataset_status().render())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -85,7 +163,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', or 'list'",
+        help=(
+            f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', 'list', "
+            "or the dataset-store commands 'run' and 'status'"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -104,6 +185,23 @@ def main(argv: list[str] | None = None) -> int:
         help="dataset cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
     parser.add_argument(
+        "--executor",
+        default="auto",
+        choices=("auto", "serial", "thread", "process"),
+        help="batch strategy for dataset builds (default: auto)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with 'run': continue an interrupted store build",
+    )
+    parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="with 'run': checkpoint at most this many shards, then stop",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     args = parser.parse_args(argv)
@@ -111,13 +209,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiments == ["list"]:
         print(list_experiments())
         return 0
+    commands = {"run", "status", "list"} & set(args.experiments)
+    if commands and len(args.experiments) > 1:
+        parser.error(
+            f"{sorted(commands)} are standalone commands and cannot be "
+            "combined with experiment names"
+        )
+    if args.experiments != ["run"] and (args.resume or args.max_shards is not None):
+        parser.error("--resume/--max-shards only apply to the 'run' command")
+    if args.experiments == ["run"]:
+        return _run_store(args, parser)
+    if args.experiments == ["status"]:
+        return _store_status(args)
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
-    session = Session(args.scale, jobs=args.jobs, cache_dir=args.cache_dir)
+    session = Session(
+        args.scale,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
     scale = session.scale
     progress = None if args.quiet else lambda message: print(f"  .. {message}")
 

@@ -77,8 +77,12 @@ class Compiler:
         """Run the pass pipeline over a fresh copy of ``program``."""
         canonical = setting.canonical()
         key = (program.name, canonical)
-        if self._cache_enabled and key in self._cache:
-            return self._cache[key]
+        if self._cache_enabled:
+            # Single atomic read (not check-then-index) so a concurrent
+            # clear_cache() can only cause a recompile, never a KeyError.
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
 
         working = program.clone()
         stats = PassStats()

@@ -16,13 +16,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace, o3_setting
+from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace
 from repro.compiler.ir import Program
 from repro.compiler.pipeline import Compiler
 from repro.parallel import resolve_jobs, run_batch
 from repro.core.distribution import IIDDistribution, good_settings_by_runtime
 from repro.machine.params import MicroArch
-from repro.sim.analytic import simulate_analytic
 from repro.sim.counters import COUNTER_NAMES
 
 
@@ -131,27 +130,13 @@ def _program_rows(
     """One program's slice of the training matrices.
 
     Deterministic in its inputs alone, so worker processes computing
-    different programs produce exactly what a serial loop would.
+    different programs produce exactly what a serial loop would.  This is
+    the compile-once/simulate-many hot path shared with the sharded
+    :mod:`repro.store` builds, imported lazily to avoid a package cycle.
     """
-    from repro.core.code_features import static_code_features
+    from repro.store.compute import compute_shard
 
-    active_compiler = compiler if compiler is not None else Compiler()
-    S, M = len(settings), len(machines)
-    runtimes = np.empty((S, M), dtype=float)
-    o3_runtimes = np.empty(M, dtype=float)
-    counters = np.empty((M, len(COUNTER_NAMES)), dtype=float)
-
-    o3_binary = active_compiler.compile(program, o3_setting())
-    code_features = np.asarray(static_code_features(o3_binary), dtype=float)
-    for m, machine in enumerate(machines):
-        result = simulate_analytic(o3_binary, machine)
-        o3_runtimes[m] = result.seconds
-        counters[m, :] = result.counters.vector()
-    for s, setting in enumerate(settings):
-        binary = active_compiler.compile(program, setting)
-        for m, machine in enumerate(machines):
-            runtimes[s, m] = simulate_analytic(binary, machine).seconds
-    return runtimes, o3_runtimes, counters, code_features
+    return compute_shard(program, machines, settings, compiler)
 
 
 def _program_rows_task(
@@ -163,10 +148,9 @@ def _program_rows_task(
     rebuilds one from its configuration — keeping parallel results
     identical to serial ones even for non-default compilers.
     """
-    program, machines, settings, space, cache = work
-    return _program_rows(
-        program, machines, settings, Compiler(space=space, cache=cache)
-    )
+    from repro.store.compute import compute_shard_task
+
+    return compute_shard_task(work)
 
 
 def generate_training_set(

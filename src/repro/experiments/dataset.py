@@ -1,9 +1,23 @@
-"""Experiment-data generation with on-disk caching.
+"""Experiment-data generation over the sharded, resumable store.
 
-Building a training matrix is the expensive step of every experiment, so it
-is computed once per (scale, program-spec fingerprint) and memoised both in
-process and on disk as an ``.npz`` plus JSON sidecar under
-``$REPRO_CACHE_DIR`` (default ``<cwd>/.repro-cache``).
+Building a training matrix is the expensive step of every experiment, so
+it is computed once per (scale, program-spec fingerprint) and memoised in
+process and on disk.  The on-disk representation is a
+:class:`repro.store.ExperimentStore` under ``$REPRO_CACHE_DIR`` (default
+``<cwd>/.repro-cache``): one directory per scale holding a manifest plus
+append-only, fingerprinted shard files keyed by (program,
+machine-chunk).  An interrupted build loses nothing — the next
+:func:`load_or_build` (or ``repro-experiments run --resume``) skips
+completed shards and computes only the rest, and the assembled
+:class:`~repro.core.training.TrainingSet` is bit-identical to a
+single-shot build.
+
+Datasets written by older versions as a single ``.npz`` + JSON sidecar
+remain readable: :func:`load_or_build` falls back to the legacy file
+when no store exists for the scale.
+
+The in-process memoisation is guarded by a lock, so concurrent sessions
+(threads) sharing this module build each dataset exactly once.
 """
 
 from __future__ import annotations
@@ -11,19 +25,27 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
-from repro.compiler.flags import FlagSetting
+from repro.compiler.flags import DEFAULT_SPACE, FlagSetting
 from repro.compiler.ir import Program
 from repro.compiler.pipeline import Compiler
-from repro.core.training import TrainingSet, generate_training_set
+from repro.core.training import TrainingSet
 from repro.experiments.config import Scale
 from repro.machine.params import MicroArch, MicroArchSpace
 from repro.programs.mibench import mibench_program
+from repro.store import (
+    ExperimentRunner,
+    ExperimentStore,
+    GridSpec,
+    StoreError,
+    StoreStatus,
+)
 
 
 @dataclass
@@ -38,6 +60,11 @@ class ExperimentData:
 
 
 _MEMORY_CACHE: dict[str, ExperimentData] = {}
+#: Guards ``_MEMORY_CACHE`` and ``_BUILD_LOCKS``; never held during a build.
+_CACHE_LOCK = threading.Lock()
+#: Per-fingerprint build locks so concurrent sessions build each dataset
+#: once (and different scales still build in parallel).
+_BUILD_LOCKS: dict[str, threading.Lock] = {}
 
 
 def cache_dir(override: str | Path | None = None) -> Path:
@@ -52,7 +79,60 @@ def _machines_for(scale: Scale) -> list[MicroArch]:
     return space.sample(scale.n_machines, seed=scale.machine_seed)
 
 
+def grid_for_scale(scale: Scale, chunk_machines: int | None = None) -> GridSpec:
+    """The explicit experiment grid (machines, settings) of a scale."""
+    kwargs = {} if chunk_machines is None else {"chunk_machines": chunk_machines}
+    return GridSpec(
+        program_names=tuple(scale.programs),
+        machines=tuple(_machines_for(scale)),
+        settings=tuple(
+            DEFAULT_SPACE.sample_many(scale.n_settings, scale.setting_seed)
+        ),
+        extended=scale.extended,
+        metadata={"seed": scale.setting_seed, "n_settings": scale.n_settings},
+        **kwargs,
+    )
+
+
+def store_root(scale: Scale, cache_directory: str | Path | None = None) -> Path:
+    """Where a scale's shard store lives under the cache root."""
+    return cache_dir(cache_directory) / f"store-{scale.name}-{scale.fingerprint()}"
+
+
+def experiment_store(
+    scale: Scale,
+    cache_directory: str | Path | None = None,
+    chunk_machines: int | None = None,
+) -> ExperimentStore:
+    """Open (or create) the shard store for a scale.
+
+    The store directory is keyed by the scale fingerprint — which covers
+    the program specs — so retuning a benchmark spec starts a fresh
+    store rather than resuming a stale one.
+    """
+    return ExperimentStore(
+        grid_for_scale(scale, chunk_machines),
+        root=store_root(scale, cache_directory),
+    )
+
+
+def store_status(
+    scale: Scale, cache_directory: str | Path | None = None
+) -> StoreStatus:
+    """Shard-completion snapshot for ``repro-experiments status``.
+
+    Read-only: when no store exists yet this reports an all-pending grid
+    without creating the store directory as a side effect.
+    """
+    root = store_root(scale, cache_directory)
+    if not root.exists():
+        return StoreStatus.pending_for(grid_for_scale(scale), root=str(root))
+    return experiment_store(scale, cache_directory).status()
+
+
+# --------------------------------------------------------- legacy flat cache
 def _save(path: Path, training: TrainingSet) -> None:
+    """Write the legacy single-file cache (kept for tooling/tests)."""
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays = dict(
         runtimes=training.runtimes,
@@ -73,6 +153,7 @@ def _save(path: Path, training: TrainingSet) -> None:
 
 
 def _load(path: Path) -> TrainingSet | None:
+    """Read a legacy single-file cache, if one exists."""
     npz_path = path.with_suffix(".npz")
     json_path = path.with_suffix(".json")
     if not npz_path.exists() or not json_path.exists():
@@ -96,55 +177,145 @@ def _load(path: Path) -> TrainingSet | None:
     )
 
 
+def _legacy_path(scale: Scale, cache_directory: str | Path | None) -> Path:
+    return cache_dir(cache_directory) / f"training-{scale.name}-{scale.fingerprint()}"
+
+
+def adopt_legacy_cache(
+    scale: Scale,
+    store: ExperimentStore,
+    cache_directory: str | Path | None = None,
+) -> int:
+    """Fill a store's pending shards from the legacy single-file cache.
+
+    Bit-exact with computed shards, so a store can absorb a dataset
+    written by an older release instead of recomputing it.  Returns the
+    number of shards adopted (0 when there is no usable legacy file or
+    nothing is pending).
+    """
+    if store.is_complete():
+        return 0
+    legacy = _load(_legacy_path(scale, cache_directory))
+    if legacy is None:
+        return 0
+    try:
+        return store.adopt(legacy)
+    except StoreError:
+        return 0  # legacy data from another grid: compute instead
+
+
+# ------------------------------------------------------------------- builds
+def _build_training(
+    scale: Scale,
+    programs: list[Program],
+    compiler: Compiler,
+    progress: Callable[[str], None] | None,
+    use_disk_cache: bool,
+    cache_directory: str | Path | None,
+    jobs: int,
+    executor: str,
+    store: ExperimentStore | None = None,
+) -> TrainingSet:
+    """Resolve a scale's training set: store > legacy file > fresh build."""
+    if store is None and use_disk_cache:
+        # Consult the legacy single-file cache before materialising a
+        # store directory: a legacy-only cache keeps serving without the
+        # side effect of an empty (and misleading) all-pending store.
+        if not store_root(scale, cache_directory).exists():
+            legacy = _load(_legacy_path(scale, cache_directory))
+            if legacy is not None:
+                return legacy
+        store = experiment_store(scale, cache_directory)
+        # A store directory already on disk (empty or partial) absorbs a
+        # matching legacy cache instead of recomputing its shards.
+        adopt_legacy_cache(scale, store, cache_directory)
+    elif store is None:
+        store = ExperimentStore(grid_for_scale(scale), root=None)
+
+    if not store.is_complete():
+        pending = len(store.pending_keys())
+        if progress is not None and pending < store.grid.n_shards:
+            progress(
+                f"resuming store: {store.grid.n_shards - pending}/"
+                f"{store.grid.n_shards} shards already complete"
+            )
+        runner = ExperimentRunner(
+            store,
+            programs=programs,
+            compiler=compiler,
+            jobs=jobs,
+            executor=executor,
+        )
+        runner.run(progress=progress)
+    return store.assemble()
+
+
 def load_or_build(
     scale: Scale,
     progress: Callable[[str], None] | None = None,
     use_disk_cache: bool = True,
     cache_directory: str | Path | None = None,
     jobs: int = 1,
+    executor: str = "auto",
+    store: ExperimentStore | None = None,
 ) -> ExperimentData:
     """Return the experiment data for ``scale``, building it if needed.
 
-    ``cache_directory`` overrides the ``$REPRO_CACHE_DIR`` default and
-    ``jobs`` fans the per-program build work over a process pool; neither
-    changes the resulting data.
+    The build runs through the sharded store, so it is resumable: a
+    partially built store (from an interrupted run or a capped
+    ``repro-experiments run --max-shards``) is completed rather than
+    restarted.  ``cache_directory`` overrides the ``$REPRO_CACHE_DIR``
+    default; ``jobs``/``executor`` fan the per-shard work out over the
+    chosen pool; an explicit ``store`` (e.g. a session's in-memory
+    store holding partial progress) is completed in place.  None of
+    these knobs change the resulting data — the assembled training set
+    is bit-identical for every combination.
     """
-    key = scale.fingerprint()
-    if key in _MEMORY_CACHE:
-        return _MEMORY_CACHE[key]
-
-    programs = [mibench_program(name) for name in scale.programs]
-    machines = _machines_for(scale)
-    compiler = Compiler()
-
-    training = None
-    path = cache_dir(cache_directory) / f"training-{scale.name}-{key}"
+    # The memo key covers the persistence configuration, not just the
+    # scale: a call pointed at a different cache directory must build
+    # (and persist) there rather than be served a dataset that was never
+    # written to its configured location.
     if use_disk_cache:
-        training = _load(path)
-    if training is None:
-        training = generate_training_set(
-            programs,
-            machines,
-            n_settings=scale.n_settings,
-            seed=scale.setting_seed,
-            extended=scale.extended,
-            compiler=compiler,
-            progress=progress,
-            jobs=jobs,
-        )
-        if use_disk_cache:
-            _save(path, training)
+        target = str(cache_dir(cache_directory).resolve())
+    else:
+        target = "<memory>"
+    key = f"{scale.fingerprint()}@{target}"
+    with _CACHE_LOCK:
+        if key in _MEMORY_CACHE:
+            return _MEMORY_CACHE[key]
+        build_lock = _BUILD_LOCKS.setdefault(key, threading.Lock())
 
-    data = ExperimentData(
-        scale=scale,
-        programs=programs,
-        machines=training.machines,
-        training=training,
-        compiler=compiler,
-    )
-    _MEMORY_CACHE[key] = data
-    return data
+    with build_lock:
+        # Double-check: another session may have built while we waited.
+        with _CACHE_LOCK:
+            if key in _MEMORY_CACHE:
+                return _MEMORY_CACHE[key]
+
+        programs = [mibench_program(name) for name in scale.programs]
+        compiler = Compiler()
+        training = _build_training(
+            scale,
+            programs,
+            compiler,
+            progress=progress,
+            use_disk_cache=use_disk_cache,
+            cache_directory=cache_directory,
+            jobs=jobs,
+            executor=executor,
+            store=store,
+        )
+        data = ExperimentData(
+            scale=scale,
+            programs=programs,
+            machines=training.machines,
+            training=training,
+            compiler=compiler,
+        )
+        with _CACHE_LOCK:
+            _MEMORY_CACHE[key] = data
+        return data
 
 
 def clear_memory_cache() -> None:
-    _MEMORY_CACHE.clear()
+    with _CACHE_LOCK:
+        _MEMORY_CACHE.clear()

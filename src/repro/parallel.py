@@ -14,8 +14,12 @@ callers pass a module-level function for that reason.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -31,6 +35,28 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs < 0:
         return os.cpu_count() or 1
     return int(jobs)
+
+
+def resolve_strategy(
+    jobs: int | None, executor: str, n_items: int | None = None
+) -> tuple[int, str]:
+    """Validate an executor name and resolve the effective strategy.
+
+    The single home of the ``auto`` policy (process when more than one
+    worker, else serial) and of the worker-count clamp, shared by
+    :func:`run_batch`, :func:`run_batch_completed`, and the store runner.
+    Returns ``(workers, executor)`` with ``executor`` never ``"auto"``.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}"
+        )
+    workers = resolve_jobs(jobs)
+    if n_items is not None:
+        workers = min(workers, max(n_items, 1))
+    if executor == "auto":
+        executor = "process" if workers > 1 else "serial"
+    return workers, executor
 
 
 def run_batch(
@@ -50,14 +76,8 @@ def run_batch(
         executor: ``serial``, ``thread``, ``process``, or ``auto``
             (process when ``jobs > 1``, else serial).
     """
-    if executor not in EXECUTORS:
-        raise ValueError(
-            f"unknown executor {executor!r}; choose from {EXECUTORS}"
-        )
     items = list(items)
-    workers = min(resolve_jobs(jobs), max(len(items), 1))
-    if executor == "auto":
-        executor = "process" if workers > 1 else "serial"
+    workers, executor = resolve_strategy(jobs, executor, len(items))
     if executor == "serial" or workers <= 1:
         return [function(item) for item in items]
     pool_type = (
@@ -65,3 +85,42 @@ def run_batch(
     )
     with pool_type(max_workers=workers) as pool:
         return list(pool.map(function, items))
+
+
+def run_batch_completed(
+    function: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    jobs: int | None = 1,
+    executor: str = "auto",
+) -> Iterator[tuple[int, R]]:
+    """Apply ``function`` to every item, yielding ``(index, result)`` pairs
+    as each one finishes.
+
+    Unlike :func:`run_batch`, results arrive in *completion* order, so a
+    caller that checkpoints each result (e.g. the experiment-store
+    runner) never holds more than the in-flight items un-persisted.  The
+    item/function contract is the same as :func:`run_batch`; item ``i``'s
+    result is always paired with index ``i``, whatever order it arrives.
+    """
+    items = list(items)
+    workers, executor = resolve_strategy(jobs, executor, len(items))
+    if executor == "serial" or workers <= 1:
+        for index, item in enumerate(items):
+            yield index, function(item)
+        return
+    pool_type = (
+        ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    )
+    pool = pool_type(max_workers=workers)
+    try:
+        futures = {
+            pool.submit(function, item): index
+            for index, item in enumerate(items)
+        }
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+    finally:
+        # On failure (or the consumer closing the generator) drop every
+        # not-yet-started item instead of computing results nobody will
+        # consume; only genuinely in-flight work is waited for.
+        pool.shutdown(wait=True, cancel_futures=True)

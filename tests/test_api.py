@@ -285,8 +285,10 @@ class TestSessionConfig:
         caching = Session(scale, cache_dir=tmp_path)
         data = caching.dataset()
         assert data.training.runtimes.shape == (2, 2, 2)
-        cached_files = list(tmp_path.glob("training-apitest-*"))
-        assert len(cached_files) == 2  # .npz + .json sidecar
+        store_dirs = list(tmp_path.glob("store-apitest-*"))
+        assert len(store_dirs) == 1
+        assert (store_dirs[0] / "manifest.json").exists()
+        assert list((store_dirs[0] / "shards").glob("*.npz"))
 
     def test_dataset_build_with_jobs_matches_serial(self, tmp_path):
         from repro.core.training import generate_training_set

@@ -20,9 +20,12 @@ class TestCli:
         with pytest.raises(ValueError):
             cli.main(["table2", "--scale", "galactic"])
 
-    def test_data_experiment_at_tiny_scale(self, tiny_data, capsys, monkeypatch):
-        # tiny_data already populated the in-memory cache; the CLI reuses it.
-        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/repro-test-cache")
+    def test_data_experiment_at_tiny_scale(
+        self, tiny_data, capsys, monkeypatch, tmp_path
+    ):
+        # The memo is keyed by persistence config, so the disk-cached CLI
+        # builds its own tiny dataset (seconds) into the env-var cache dir.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
         assert cli.main(["fig4", "--scale", "tiny", "--quiet"]) == 0
         output = capsys.readouterr().out
         assert "Figure 4" in output
@@ -46,6 +49,47 @@ class TestCli:
                 str(tmp_path),
             ]
         ) == 0
+
+    def test_run_rejects_nonpositive_max_shards(self, tmp_path):
+        for bad in ("0", "-1"):
+            with pytest.raises(SystemExit):
+                cli.main(
+                    ["run", "--scale", "tiny", "--max-shards", bad,
+                     "--cache-dir", str(tmp_path)]
+                )
+
+    def test_status_before_any_run(self, tmp_path, capsys):
+        assert cli.main(
+            ["status", "--scale", "tiny", "--cache-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "no store" in output
+        assert "repro-experiments run" in output
+
+    def test_run_max_shards_then_status_then_resume(self, tmp_path, capsys):
+        base = ["--scale", "tiny", "--cache-dir", str(tmp_path), "--quiet"]
+        assert cli.main(["run", "--max-shards", "2"] + base) == 0
+        assert "2/6 complete" in capsys.readouterr().out
+
+        assert cli.main(["status", "--scale", "tiny", "--cache-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "2/6 complete" in output
+        assert "pending" in output
+
+        # A second 'run' without --resume refuses to touch the partial store.
+        with pytest.raises(SystemExit):
+            cli.main(["run"] + base)
+        capsys.readouterr()
+
+        assert cli.main(["run", "--resume"] + base) == 0
+        assert "6/6 complete" in capsys.readouterr().out
+
+        # Complete store: 'run' is a cheap no-op, resumed or not.
+        assert cli.main(["run"] + base) == 0
+        assert "already complete" in capsys.readouterr().out
+
+        assert cli.main(["status", "--scale", "tiny", "--cache-dir", str(tmp_path)]) == 0
+        assert "complete" in capsys.readouterr().out
 
     def test_all_includes_every_experiment_name(self):
         assert set(cli.EXPERIMENTS) >= {

@@ -1,0 +1,131 @@
+"""Property-based invariants of the analytic simulator.
+
+Over randomized binaries (synthetic loop programs and MiBench programs
+under random flag settings) and randomized Table 2 machines, the model
+must stay physical: cycles and energy strictly positive and finite, and
+more cache capacity never slower.
+
+The capacity-monotonicity property needs one care: the Cacti latency
+model deliberately makes bigger/more-associative arrays *slower to
+access* (a larger cache is not a free lunch), and a crossed
+``hit_cycles`` ceiling can legitimately cost more cycles than the saved
+misses.  The invariant the simulator owes us is therefore conditional:
+with the access-latency bucket unchanged, growing I-cache or D-cache
+capacity (size, or effective capacity via associativity) must never
+increase the cycle count.  Hypothesis filters machine pairs to the same
+timing bucket with ``assume``.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from conftest import simple_loop_program
+from repro.compiler.flags import DEFAULT_SPACE
+from repro.compiler.pipeline import Compiler
+from repro.machine.cacti import dcache_timing, icache_timing
+from repro.machine.params import BASE_GRID, EXTENDED_GRID, MicroArch
+from repro.programs import mibench_program
+from repro.sim.analytic import simulate_analytic
+
+FUZZ_PROGRAMS = ("search", "crc", "qsort", "rawcaudio")
+
+machines = st.builds(
+    MicroArch,
+    il1_size=st.sampled_from(BASE_GRID["il1_size"]),
+    il1_assoc=st.sampled_from(BASE_GRID["il1_assoc"]),
+    il1_block=st.sampled_from(BASE_GRID["il1_block"]),
+    dl1_size=st.sampled_from(BASE_GRID["dl1_size"]),
+    dl1_assoc=st.sampled_from(BASE_GRID["dl1_assoc"]),
+    dl1_block=st.sampled_from(BASE_GRID["dl1_block"]),
+    btb_entries=st.sampled_from(BASE_GRID["btb_entries"]),
+    btb_assoc=st.sampled_from(BASE_GRID["btb_assoc"]),
+    frequency_mhz=st.sampled_from(EXTENDED_GRID["frequency_mhz"]),
+    issue_width=st.sampled_from(EXTENDED_GRID["issue_width"]),
+)
+
+
+@st.composite
+def binaries(draw):
+    """A compiled binary: synthetic loop program or MiBench, random flags."""
+    setting = DEFAULT_SPACE.sample_many(
+        1, seed=draw(st.integers(min_value=0, max_value=50_000))
+    )[0]
+    if draw(st.booleans()):
+        program = mibench_program(draw(st.sampled_from(FUZZ_PROGRAMS)))
+    else:
+        program = simple_loop_program(
+            name="fuzz",
+            body_insns=draw(st.integers(min_value=1, max_value=64)),
+            trip_count=float(draw(st.integers(min_value=1, max_value=2000))),
+            entries=float(draw(st.integers(min_value=1, max_value=64))),
+            region_size=draw(st.integers(min_value=64, max_value=2**21)),
+        )
+    return Compiler(cache=False).compile(program, setting)
+
+
+def _grow(draw, grid: tuple[int, ...], current: int) -> int:
+    """A strictly larger value of the same Table 2 parameter."""
+    larger = [value for value in grid if value > current]
+    assume(larger)
+    return draw(st.sampled_from(larger))
+
+
+def _same_bucket(one, two) -> bool:
+    """Whether two cache configurations cost the same cycles to access.
+
+    Only the discretised ``hit_cycles``/``miss_penalty_cycles`` enter the
+    cycle model; the continuous ``access_ns`` differs for any two sizes.
+    """
+    return (
+        one.hit_cycles == two.hit_cycles
+        and one.miss_penalty_cycles == two.miss_penalty_cycles
+    )
+
+
+class TestSimWellFormed:
+    @given(binary=binaries(), machine=machines)
+    @settings(max_examples=60, deadline=None)
+    def test_cycles_and_energy_positive_finite(self, binary, machine):
+        result = simulate_analytic(binary, machine)
+        assert result.cycles > 0.0 and math.isfinite(result.cycles)
+        assert result.seconds > 0.0 and math.isfinite(result.seconds)
+        assert result.energy_nj > 0.0 and math.isfinite(result.energy_nj)
+        assert result.cycles * machine.cycle_ns * 1e-9 == result.seconds
+        assert np.isfinite(result.counters.vector()).all()
+        for component in vars(result.breakdown).values():
+            assert component >= 0.0 and math.isfinite(component)
+
+
+class TestCapacityMonotonicity:
+    @given(data=st.data(), binary=binaries(), machine=machines)
+    @settings(max_examples=60, deadline=None)
+    def test_icache_capacity_never_hurts(self, data, binary, machine):
+        axis = data.draw(st.sampled_from(["il1_size", "il1_assoc"]))
+        import dataclasses
+
+        bigger = dataclasses.replace(
+            machine,
+            **{axis: _grow(data.draw, BASE_GRID[axis], getattr(machine, axis))},
+        )
+        assume(_same_bucket(icache_timing(bigger), icache_timing(machine)))
+        small = simulate_analytic(binary, machine).cycles
+        large = simulate_analytic(binary, bigger).cycles
+        assert large <= small + 1e-9 * small
+
+    @given(data=st.data(), binary=binaries(), machine=machines)
+    @settings(max_examples=60, deadline=None)
+    def test_dcache_capacity_never_hurts(self, data, binary, machine):
+        axis = data.draw(st.sampled_from(["dl1_size", "dl1_assoc"]))
+        import dataclasses
+
+        bigger = dataclasses.replace(
+            machine,
+            **{axis: _grow(data.draw, BASE_GRID[axis], getattr(machine, axis))},
+        )
+        assume(_same_bucket(dcache_timing(bigger), dcache_timing(machine)))
+        small = simulate_analytic(binary, machine).cycles
+        large = simulate_analytic(binary, bigger).cycles
+        assert large <= small + 1e-9 * small

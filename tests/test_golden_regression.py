@@ -1,0 +1,64 @@
+"""Golden-regression pins: silent model drift must fail CI.
+
+The smoke-scale (TINY) training set's content fingerprint and the
+headline best-vs-O3 speedup are pinned to the committed fixture
+``tests/golden/tiny_golden.json``.  Every layer feeds these two numbers —
+program specs, every compiler pass, the analytic simulator, the machine
+and flag samplers, and the store/assembly path — so an unintended change
+anywhere shows up here even when all behavioural tests still pass.
+
+If a change is *intentional*, regenerate the fixture and commit the diff::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.experiments.config import TINY
+    from repro.experiments.dataset import load_or_build
+    from repro.experiments.tables import headline
+
+    data = load_or_build(TINY, use_disk_cache=False)
+    result = headline(data)
+    print(json.dumps({
+        "scale": "tiny",
+        "training_fingerprint": data.training.fingerprint(),
+        "headline_mean_best_speedup": result.mean_best_speedup,
+        "headline_mean_model_speedup": result.mean_model_speedup,
+    }, indent=2))
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.tables import headline
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "tiny_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenRegression:
+    def test_training_set_fingerprint_pinned(self, tiny_data, golden):
+        """The content digest covers programs, machines, settings, and
+        every measured runtime bit-for-bit."""
+        assert tiny_data.training.fingerprint() == golden["training_fingerprint"]
+
+    def test_headline_best_speedup_pinned(self, tiny_data, golden):
+        result = headline(tiny_data)
+        assert result.mean_best_speedup == pytest.approx(
+            golden["headline_mean_best_speedup"], rel=1e-12
+        )
+        assert result.mean_model_speedup == pytest.approx(
+            golden["headline_mean_model_speedup"], rel=1e-12
+        )
+
+    def test_golden_fixture_is_committed_and_sane(self, golden):
+        assert golden["scale"] == "tiny"
+        assert len(golden["training_fingerprint"]) == 16
+        # Best-over-O3 is a maximum over settings that include -O3-like
+        # points, so it can never be a slowdown.
+        assert golden["headline_mean_best_speedup"] >= 1.0
