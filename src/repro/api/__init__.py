@@ -23,7 +23,7 @@ from repro.api.backends import (
 )
 from repro.parallel import EXECUTORS, resolve_jobs, run_batch
 from repro.api.persistence import load_predictor, save_predictor
-from repro.api.session import SEARCH_ALGORITHMS, Session
+from repro.api.session import SEARCH_ALGORITHMS, ProtocolRun, Session
 from repro.api.types import (
     EvaluationRequest,
     EvaluationResult,
@@ -39,6 +39,7 @@ __all__ = [
     "EvaluationRequest",
     "EvaluationResult",
     "PredictionResult",
+    "ProtocolRun",
     "SEARCH_ALGORITHMS",
     "SearchOutcome",
     "SearchRequest",

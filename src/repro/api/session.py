@@ -19,6 +19,7 @@ execution, in request order.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -42,14 +43,28 @@ from repro.core.predictor import (
     OptimisationPredictor,
 )
 from repro.core.training import TrainingSet
+from repro.evalrun import (
+    EvaluationPipeline,
+    FoldStore,
+    PipelineRunStats,
+    ProtocolReport,
+    protocol_fingerprint,
+    protocol_variants,
+    render_report,
+    resolve_artifacts,
+    variants_for_artifacts,
+)
+from repro.evalrun.foldstore import FoldStoreStatus
 from repro.experiments.config import Scale, preset
 from repro.experiments.dataset import (
     ExperimentData,
     experiment_store,
     grid_for_scale,
     load_or_build,
+    protocol_store_root,
     store_status,
 )
+from repro.experiments.figures import seed_crossval_cache
 from repro.store import ExperimentRunner, ExperimentStore, StoreStatus
 from repro.machine.params import MicroArch, MicroArchSpace
 from repro.parallel import resolve_jobs, run_batch
@@ -77,6 +92,23 @@ SEARCH_ALGORITHMS: dict[str, Callable] = {
     ),
 }
 SEARCH_ALGORITHMS["ce"] = SEARCH_ALGORITHMS["combined-elimination"]
+
+@dataclass
+class ProtocolRun:
+    """Outcome of one :meth:`Session.run_protocol` call.
+
+    ``report`` is ``None`` when a ``max_folds`` cap left folds pending —
+    re-run (resume) to finish; everything checkpointed so far is kept.
+    """
+
+    stats: PipelineRunStats
+    status: FoldStoreStatus
+    report: ProtocolReport | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.report is not None
+
 
 #: Per-process compiler for process-pool workers; built lazily so forked
 #: children that never evaluate pay nothing.
@@ -152,6 +184,8 @@ class Session:
         #: Cache-less sessions keep one in-memory store per scale so
         #: build_dataset/dataset_status/dataset all see the same shards.
         self._memory_stores: dict[str, ExperimentStore] = {}
+        #: Likewise for protocol fold stores, keyed by protocol fingerprint.
+        self._memory_fold_stores: dict[str, FoldStore] = {}
 
     # ------------------------------------------------------------- resolvers
     @staticmethod
@@ -349,6 +383,98 @@ class Session:
             executor=self.executor,
         )
         return runner.run(max_shards=max_shards, progress=progress)
+
+    # --------------------------------------------------------- paper protocol
+    def protocol_store(
+        self, data: ExperimentData | None = None, scale: str | Scale | None = None
+    ) -> FoldStore:
+        """The fold store backing a scale's paper-protocol run.
+
+        On disk under the session's cache directory, or — with
+        ``use_disk_cache=False`` — a per-scale in-memory store owned by
+        this session so partial protocol runs survive across calls.
+        Opening the store requires the training matrix (the protocol
+        fingerprint covers it), so the dataset is built first if needed.
+        """
+        if data is None:
+            data = self.dataset(scale)
+        variants = protocol_variants(
+            with_code=data.training.code_features is not None
+        )
+        fingerprint = protocol_fingerprint(data.training, variants)
+        programs = list(data.training.program_names)
+        metadata = {"scale": data.scale.name}
+        if not self.use_disk_cache:
+            store = self._memory_fold_stores.get(fingerprint)
+            if store is None:
+                store = FoldStore(
+                    fingerprint, variants, programs, root=None, metadata=metadata
+                )
+                self._memory_fold_stores[fingerprint] = store
+            return store
+        return FoldStore(
+            fingerprint,
+            variants,
+            programs,
+            root=protocol_store_root(data.scale, fingerprint, self.cache_dir),
+            metadata=metadata,
+        )
+
+    def run_protocol(
+        self,
+        scale: str | Scale | None = None,
+        *,
+        only: str | Sequence[str] | None = None,
+        max_folds: int | None = None,
+        jobs: int | None = None,
+        executor: str | None = None,
+        progress: Callable[[str], None] | None = None,
+        store: FoldStore | None = None,
+    ) -> ProtocolRun:
+        """Run the full paper protocol — resumably — and render the artifact.
+
+        Builds (or resumes) the scale's dataset through the experiment
+        store, executes the leave-one-out + ablation fold grid through
+        the checkpointing :class:`EvaluationPipeline`, and renders the
+        requested artifacts as markdown + JSON.  Every fold is
+        checkpointed as it completes, so a killed run resumes with zero
+        re-simulation, and the rendered report is byte-identical however
+        the run was interrupted or parallelised.
+
+        Args:
+            only: artifact subset (``"fig6,headline"`` or a sequence);
+                folds that only unrequested artifacts need are not run.
+            max_folds: checkpoint at most this many folds then stop
+                (``report`` is ``None`` if that leaves the grid
+                incomplete; call again to resume).
+            jobs/executor: override the session defaults for this run.
+        """
+        data = self.dataset(scale, progress=progress)
+        if store is None:
+            store = self.protocol_store(data)
+        artifacts = resolve_artifacts(only)
+        with_code = data.training.code_features is not None
+        variant_keys = variants_for_artifacts(artifacts, with_code=with_code)
+        pipeline = EvaluationPipeline(
+            data.training,
+            data.programs,
+            store,
+            jobs=self.jobs if jobs is None else jobs,
+            executor=self.executor if executor is None else executor,
+            compiler=self.compiler,
+        )
+        stats = pipeline.run(
+            variants=variant_keys, max_folds=max_folds, progress=progress
+        )
+        if not store.is_complete(variant_keys):
+            return ProtocolRun(stats=stats, status=store.status(), report=None)
+        protocol = pipeline.assemble(variants=variant_keys)
+        if "base" in protocol.results:
+            # Figures/tables called outside the protocol now consume the
+            # checkpointed pipeline output instead of recomputing CV.
+            seed_crossval_cache(data, protocol.base)
+        report = render_report(data, protocol, only=artifacts)
+        return ProtocolRun(stats=stats, status=store.status(), report=report)
 
     # ---------------------------------------------------------- model lifecycle
     def fit(

@@ -12,6 +12,10 @@ Examples::
     repro-experiments run --scale paper --max-shards 50  # budgeted increments
     repro-experiments status --scale paper               # shard completion
 
+    repro-experiments report --scale quick               # the full paper artifact
+    repro-experiments report --scale quick --resume      # continue after a kill
+    repro-experiments report --only fig6,headline        # a subset, fewer folds
+
 All experiments go through one :class:`repro.api.Session`, which owns the
 dataset caches and fans the expensive dataset build out over ``--jobs``
 workers.  Datasets are built through the sharded, resumable store of
@@ -25,8 +29,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.api import Session
+from repro.evalrun import resolve_artifacts, variants_for_artifacts
 from repro.experiments.dataset import adopt_legacy_cache, store_root
 from repro.experiments import (
     beta_sweep,
@@ -87,6 +93,10 @@ def list_experiments() -> str:
         "dataset store: repro-experiments run [--resume] [--max-shards N] "
         "[--executor E] | status"
     )
+    lines.append(
+        "paper artifact: repro-experiments report [--resume] [--max-folds N] "
+        "[--only fig5,table2,...] [--out DIR]"
+    )
     return "\n".join(lines)
 
 
@@ -141,6 +151,81 @@ def _run_store(args, parser) -> int:
     return 0
 
 
+def _report(args, parser) -> int:
+    """The ``report`` subcommand: run the resumable paper protocol and
+    render the complete artifact as markdown + JSON."""
+    if args.max_folds is not None and args.max_folds < 1:
+        parser.error("--max-folds must be >= 1")
+    session = Session(
+        args.scale,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
+    progress = None if args.quiet else lambda message: print(f"  .. {message}")
+    data = session.dataset(progress=progress)
+    store = session.protocol_store(data)
+    # The resume gate judges completeness against the folds *this*
+    # selection needs: a finished `--only` run re-renders freely, while
+    # a partially computed selection demands an explicit --resume.
+    requested = variants_for_artifacts(
+        resolve_artifacts(args.only),
+        with_code=data.training.code_features is not None,
+    )
+    pending = len(store.pending_keys(requested))
+    total = len(list(store.fold_keys(requested)))
+    if 0 < pending < total and not args.resume:
+        parser.error(
+            f"protocol store at {store.status().root} already holds "
+            f"{total - pending}/{total} of the requested folds; "
+            "pass --resume to continue the interrupted protocol run"
+        )
+    started = time.time()
+    outcome = session.run_protocol(
+        only=args.only,
+        max_folds=args.max_folds,
+        progress=progress,
+        store=store,
+    )
+    stats = outcome.stats
+    print(
+        f"protocol: {stats.folds_computed} folds computed, "
+        f"{stats.folds_skipped} already checkpointed, "
+        f"{stats.store_hits} store hits, {stats.simulation_calls} fallback "
+        f"simulations in {time.time() - started:.1f}s"
+    )
+    if not outcome.complete:
+        print(outcome.status.render())
+        # Echo back every selection-shaping flag: the hinted command must
+        # resume *this* job, not a broader one into a different location.
+        hint = f"repro-experiments report --scale {session.scale.name} --resume"
+        if args.only is not None:
+            hint += f" --only {args.only}"
+        if args.out is not None:
+            hint += f" --out {args.out}"
+        if args.jobs != 1:
+            hint += f" --jobs {args.jobs}"
+        if args.executor != "auto":
+            hint += f" --executor {args.executor}"
+        if args.cache_dir is not None:
+            hint += f" --cache-dir {args.cache_dir}"
+        print(f"resume with: {hint}")
+        return 0
+    report = outcome.report
+    out_dir = Path(args.out if args.out is not None else ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    markdown_path = out_dir / f"report-{session.scale.name}.md"
+    json_path = out_dir / f"report-{session.scale.name}.json"
+    markdown_path.write_text(report.markdown)
+    json_path.write_text(report.json_text())
+    print(
+        f"rendered {len(report.artifacts)} artifacts "
+        f"(report fingerprint {report.fingerprint})"
+    )
+    print(f"wrote {markdown_path} and {json_path}")
+    return 0
+
+
 def _store_status(args) -> int:
     """The ``status`` subcommand: report a scale's shard completion."""
     session = Session(args.scale, cache_dir=args.cache_dir)
@@ -165,7 +250,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         help=(
             f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', 'list', "
-            "or the dataset-store commands 'run' and 'status'"
+            "the dataset-store commands 'run' and 'status', or 'report' "
+            "for the full resumable paper artifact"
         ),
     )
     parser.add_argument(
@@ -193,13 +279,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="with 'run': continue an interrupted store build",
+        help="with 'run'/'report': continue an interrupted build or protocol",
     )
     parser.add_argument(
         "--max-shards",
         type=int,
         default=None,
         help="with 'run': checkpoint at most this many shards, then stop",
+    )
+    parser.add_argument(
+        "--max-folds",
+        type=int,
+        default=None,
+        help="with 'report': checkpoint at most this many folds, then stop",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help=(
+            "with 'report': comma-separated artifact subset "
+            "(e.g. fig6,headline,ablate-k); unrequested folds are not run"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="with 'report': directory for report-<scale>.md/.json (default: .)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
@@ -209,18 +314,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiments == ["list"]:
         print(list_experiments())
         return 0
-    commands = {"run", "status", "list"} & set(args.experiments)
+    commands = {"run", "status", "list", "report"} & set(args.experiments)
     if commands and len(args.experiments) > 1:
         parser.error(
             f"{sorted(commands)} are standalone commands and cannot be "
             "combined with experiment names"
         )
-    if args.experiments != ["run"] and (args.resume or args.max_shards is not None):
-        parser.error("--resume/--max-shards only apply to the 'run' command")
+    if args.experiments != ["run"] and args.max_shards is not None:
+        parser.error("--max-shards only applies to the 'run' command")
+    if args.experiments not in (["run"], ["report"]) and args.resume:
+        parser.error("--resume only applies to the 'run' and 'report' commands")
+    if args.experiments != ["report"] and (
+        args.max_folds is not None or args.only is not None or args.out is not None
+    ):
+        parser.error("--max-folds/--only/--out only apply to the 'report' command")
     if args.experiments == ["run"]:
         return _run_store(args, parser)
     if args.experiments == ["status"]:
         return _store_status(args)
+    if args.experiments == ["report"]:
+        return _report(args, parser)
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in names if name not in EXPERIMENTS]

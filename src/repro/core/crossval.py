@@ -20,7 +20,6 @@ from repro.compiler.pipeline import Compiler
 from repro.core.predictor import OptimisationPredictor
 from repro.core.training import TrainingSet
 from repro.machine.params import MicroArch
-from repro.sim.analytic import simulate_analytic
 from repro.sim.counters import PerfCounters
 
 
@@ -110,6 +109,7 @@ def leave_one_out(
     compiler: Compiler | None = None,
     predictor: OptimisationPredictor | None = None,
     progress: Callable[[str], None] | None = None,
+    oracle=None,
 ) -> CrossValResult:
     """Run the full §5.1.1 protocol.
 
@@ -117,18 +117,28 @@ def leave_one_out(
     program and machine happens at query time, which is exact for a
     memory-based model (the only global statistic, the feature normaliser,
     changes negligibly and is shared for speed).
+
+    Predicted settings are priced through a
+    :class:`~repro.evalrun.oracle.RuntimeOracle` over the training
+    matrix: settings already in the sampled grid are read straight from
+    the (store-assembled) matrix, and only settings the model
+    synthesised outside the grid fall back to a memoised
+    compile-once/simulate-once path — never a redundant simulation.
+    Pass a shared ``oracle`` to pool that memoisation across several
+    sweeps over the same data (the ablations do).
     """
-    active_compiler = compiler if compiler is not None else Compiler()
+    if oracle is None:
+        from repro.evalrun.oracle import RuntimeOracle
+
+        oracle = RuntimeOracle(training, programs, compiler=compiler)
     model = predictor if predictor is not None else OptimisationPredictor()
     if not model.is_fitted:
         model.fit(training)
 
-    programs_by_name = {program.name: program for program in programs}
     result = CrossValResult()
     for p, name in enumerate(training.program_names):
         if progress is not None:
             progress(f"cross-validation: {name} ({p + 1}/{len(training.program_names)})")
-        program = programs_by_name[name]
         code_features = (
             training.code_features[p, :]
             if training.code_features is not None
@@ -143,14 +153,12 @@ def leave_one_out(
                 exclude_machine=machine,
                 code_features=code_features,
             )
-            binary = active_compiler.compile(program, predicted)
-            predicted_runtime = simulate_analytic(binary, machine).seconds
             result.outcomes.append(
                 PairOutcome(
                     program=name,
                     machine=machine,
                     predicted=predicted,
-                    predicted_runtime=predicted_runtime,
+                    predicted_runtime=oracle.runtime(name, predicted, machine),
                     o3_runtime=float(training.o3_runtimes[p, m]),
                     best_runtime=training.best_runtime(p, m),
                 )

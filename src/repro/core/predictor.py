@@ -205,6 +205,26 @@ class OptimisationPredictor:
             vector = np.concatenate([vector, np.asarray(code_features, float)])
         return self._normaliser.transform_one(vector)[self._mask]
 
+    def _candidates(
+        self,
+        exclude_program: str | None,
+        exclude_machine: MicroArch | None,
+    ) -> list[_TrainingPair]:
+        """Every training row a prediction may consult, exclusions applied.
+
+        The single gate between the memorised training rows and any
+        prediction — :meth:`predict_distribution` and :meth:`neighbours`
+        both select through it, so instrumenting (or auditing) this
+        method observes *all* training data the model can possibly
+        touch.  The leave-one-out leakage guard relies on that.
+        """
+        return [
+            pair
+            for pair in self._pairs
+            if (exclude_program is None or pair.program != exclude_program)
+            and (exclude_machine is None or pair.machine != exclude_machine)
+        ]
+
     # ------------------------------------------------------------ prediction
     def predict_distribution(
         self,
@@ -219,12 +239,7 @@ class OptimisationPredictor:
             raise RuntimeError("predictor is not fitted")
         query = self._query_vector(counters, machine, code_features)
 
-        candidates = [
-            pair
-            for pair in self._pairs
-            if (exclude_program is None or pair.program != exclude_program)
-            and (exclude_machine is None or pair.machine != exclude_machine)
-        ]
+        candidates = self._candidates(exclude_program, exclude_machine)
         if not candidates:
             raise RuntimeError("no training pairs left after exclusions")
 
@@ -268,12 +283,7 @@ class OptimisationPredictor:
     ) -> list[tuple[str, MicroArch, float]]:
         """The K nearest training pairs and distances (for analysis)."""
         query = self._query_vector(counters, machine, code_features)
-        candidates = [
-            pair
-            for pair in self._pairs
-            if (exclude_program is None or pair.program != exclude_program)
-            and (exclude_machine is None or pair.machine != exclude_machine)
-        ]
+        candidates = self._candidates(exclude_program, exclude_machine)
         distances = np.array(
             [float(np.linalg.norm(pair.features - query)) for pair in candidates]
         )

@@ -1,0 +1,158 @@
+"""The predictor-variant axis of the protocol grid.
+
+The paper evaluates one model (K = 7, β = 1, top-5 % good set, (c, d)
+features, IID factorisation) and argues its design choices are
+insensitive; the ablation sweeps of :mod:`repro.experiments.ablations`
+measure those claims by re-running leave-one-out with one choice varied.
+Each distinct predictor configuration is one :class:`VariantSpec` here,
+and the sweep rows that coincide with the paper's defaults all map to
+the single ``base`` variant, so the pipeline never computes the same
+fold twice under two names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.predictor import (
+    DEFAULT_BETA,
+    DEFAULT_K,
+    DEFAULT_QUANTILE,
+    OptimisationPredictor,
+)
+from repro.core.training import TrainingSet
+
+#: Sweep values, matching the defaults of :mod:`repro.experiments.ablations`.
+KNN_KS: tuple[int, ...] = (1, 3, 5, 7, 11, 15)
+BETAS: tuple[float, ...] = (0.25, 1.0, 4.0, 16.0)
+QUANTILES: tuple[float, ...] = (0.01, 0.05, 0.10, 0.25)
+FEATURE_MODES: tuple[str, ...] = ("both", "counters", "descriptors", "with_code")
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One predictor configuration of the protocol grid.
+
+    ``key`` is the stable identity used in fold filenames and manifests;
+    ``params`` is a value-level description sufficient to rebuild the
+    predictor, so the manifest alone pins the variant.
+    """
+
+    key: str
+    kind: str  # "paper" | "knn" | "beta" | "quantile" | "features" | "joint"
+    label: str
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def param(self, name: str, default: object = None) -> object:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def describe(self) -> dict:
+        """Manifest entry: everything needed to reproduce the variant."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "label": self.label,
+            "params": [[name, value] for name, value in self.params],
+        }
+
+
+def _knn_variant(k: int) -> VariantSpec:
+    return VariantSpec(
+        key=f"k-{k}", kind="knn", label=f"K = {k}", params=(("k", k),)
+    )
+
+
+def _beta_variant(beta: float) -> VariantSpec:
+    return VariantSpec(
+        key=f"beta-{beta:g}",
+        kind="beta",
+        label=f"beta = {beta:g}",
+        params=(("beta", beta),),
+    )
+
+
+def _quantile_variant(quantile: float) -> VariantSpec:
+    return VariantSpec(
+        key=f"quantile-{quantile:g}",
+        kind="quantile",
+        label=f"top {quantile:.0%}",
+        params=(("quantile", quantile),),
+    )
+
+
+def _features_variant(mode: str) -> VariantSpec:
+    return VariantSpec(
+        key=f"features-{mode}",
+        kind="features",
+        label=mode,
+        params=(("feature_mode", mode),),
+    )
+
+
+BASE_VARIANT = VariantSpec(key="base", kind="paper", label="paper model")
+JOINT_VARIANT = VariantSpec(key="joint", kind="joint", label="joint vote")
+
+
+def protocol_variants(with_code: bool = True) -> list[VariantSpec]:
+    """Every variant of the full protocol, ``base`` first, deduplicated.
+
+    Sweep points equal to the paper's defaults (K = 7, β = 1, top 5 %,
+    ``both`` features, IID mode) all resolve to ``base``.
+    """
+    variants: list[VariantSpec] = [BASE_VARIANT]
+    variants.extend(_knn_variant(k) for k in KNN_KS if k != DEFAULT_K)
+    variants.extend(_beta_variant(b) for b in BETAS if b != DEFAULT_BETA)
+    variants.extend(
+        _quantile_variant(q) for q in QUANTILES if q != DEFAULT_QUANTILE
+    )
+    for mode in FEATURE_MODES:
+        if mode == "both":
+            continue  # the paper's feature pair == base
+        if mode == "with_code" and not with_code:
+            continue
+        variants.append(_features_variant(mode))
+    variants.append(JOINT_VARIANT)
+    return variants
+
+
+def variant_by_key(key: str, with_code: bool = True) -> VariantSpec:
+    for variant in protocol_variants(with_code=with_code):
+        if variant.key == key:
+            return variant
+    raise KeyError(f"unknown protocol variant {key!r}")
+
+
+def make_predictor(variant: VariantSpec, training: TrainingSet):
+    """Build (unfitted) the predictor a variant describes."""
+    extended = training.extended
+    if variant.kind == "joint":
+        from repro.experiments.ablations import JointVotePredictor
+
+        return JointVotePredictor(extended=extended)
+    return OptimisationPredictor(
+        k=int(variant.param("k", DEFAULT_K)),
+        beta=float(variant.param("beta", DEFAULT_BETA)),
+        quantile=float(variant.param("quantile", DEFAULT_QUANTILE)),
+        feature_mode=str(variant.param("feature_mode", "both")),
+        extended=extended,
+    )
+
+
+def protocol_fingerprint(
+    training: TrainingSet, variants: list[VariantSpec]
+) -> str:
+    """Identity of one protocol: the data plus every variant definition.
+
+    Any change to the training matrix (and therefore to the grid that
+    produced it) or to the variant set starts a fresh fold store rather
+    than resuming a stale one.
+    """
+    digest = hashlib.sha256()
+    digest.update(training.fingerprint().encode())
+    for variant in variants:
+        digest.update(repr(variant).encode())
+    return digest.hexdigest()[:16]

@@ -62,9 +62,25 @@ class AblationResult:
         return "\n".join(lines)
 
 
-def _evaluate(data: ExperimentData, predictor) -> AblationRow:
+def _shared_oracle(data: ExperimentData):
+    """One runtime oracle per sweep: every row reads grid settings from
+    the store-assembled matrix and shares one memoised fallback, so
+    varying a hyper-parameter never re-simulates a setting another row
+    (or variant) already priced.  Imported lazily — :mod:`repro.evalrun`
+    renders *these* sweeps, so a module-level import would be a cycle.
+    """
+    from repro.evalrun.oracle import RuntimeOracle
+
+    return RuntimeOracle(data.training, data.programs, compiler=data.compiler)
+
+
+def _evaluate(data: ExperimentData, predictor, oracle=None) -> AblationRow:
     result = leave_one_out(
-        data.training, data.programs, compiler=data.compiler, predictor=predictor
+        data.training,
+        data.programs,
+        compiler=data.compiler,
+        predictor=predictor,
+        oracle=oracle,
     )
     return AblationRow(
         label="",
@@ -78,10 +94,13 @@ def knn_k_sweep(
     data: ExperimentData, ks: tuple[int, ...] = (1, 3, 5, 7, 11, 15)
 ) -> AblationResult:
     """§3.3.2 claims the technique is not sensitive to K around 7."""
+    oracle = _shared_oracle(data)
     rows = []
     for k in ks:
         row = _evaluate(
-            data, OptimisationPredictor(k=k, extended=data.scale.extended)
+            data,
+            OptimisationPredictor(k=k, extended=data.scale.extended),
+            oracle=oracle,
         )
         row.label = f"K = {k}" + ("  (paper)" if k == DEFAULT_K else "")
         rows.append(row)
@@ -94,10 +113,13 @@ def beta_sweep(
     """§3.3.2 sets β = 1 in the softmax weighting (eq. 6); large β collapses
     the mixture onto the single nearest pair, small β flattens it towards a
     plain K-average."""
+    oracle = _shared_oracle(data)
     rows = []
     for beta in betas:
         row = _evaluate(
-            data, OptimisationPredictor(beta=beta, extended=data.scale.extended)
+            data,
+            OptimisationPredictor(beta=beta, extended=data.scale.extended),
+            oracle=oracle,
         )
         row.label = f"beta = {beta:g}" + (
             "  (paper)" if beta == DEFAULT_BETA else ""
@@ -111,11 +133,13 @@ def quantile_sweep(
     quantiles: tuple[float, ...] = (0.01, 0.05, 0.10, 0.25),
 ) -> AblationResult:
     """Footnote 1's top-5 % definition of the good set."""
+    oracle = _shared_oracle(data)
     rows = []
     for quantile in quantiles:
         row = _evaluate(
             data,
             OptimisationPredictor(quantile=quantile, extended=data.scale.extended),
+            oracle=oracle,
         )
         row.label = f"top {quantile:.0%}" + (
             "  (paper)" if quantile == DEFAULT_QUANTILE else ""
@@ -130,11 +154,13 @@ def feature_mode_sweep(data: ExperimentData) -> AblationResult:
     modes = ["both", "counters", "descriptors"]
     if data.training.code_features is not None:
         modes.append("with_code")
+    oracle = _shared_oracle(data)
     rows = []
     for mode in modes:
         row = _evaluate(
             data,
             OptimisationPredictor(feature_mode=mode, extended=data.scale.extended),
+            oracle=oracle,
         )
         suffix = "  (paper)" if mode == "both" else ""
         suffix = "  (§9 extension)" if mode == "with_code" else suffix
@@ -223,12 +249,13 @@ class JointVotePredictor:
 
 def iid_vs_joint(data: ExperimentData) -> AblationResult:
     """The paper's factorised model vs the joint-vote variant."""
+    oracle = _shared_oracle(data)
     iid_row = _evaluate(
-        data, OptimisationPredictor(extended=data.scale.extended)
+        data, OptimisationPredictor(extended=data.scale.extended), oracle=oracle
     )
     iid_row.label = "IID mode  (paper)"
     joint_row = _evaluate(
-        data, JointVotePredictor(extended=data.scale.extended)
+        data, JointVotePredictor(extended=data.scale.extended), oracle=oracle
     )
     joint_row.label = "joint vote"
     return AblationResult(

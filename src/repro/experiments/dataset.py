@@ -116,6 +116,20 @@ def experiment_store(
     )
 
 
+def protocol_store_root(
+    scale: Scale,
+    fingerprint: str,
+    cache_directory: str | Path | None = None,
+) -> Path:
+    """Where a scale's protocol fold store lives under the cache root.
+
+    Keyed by the *protocol* fingerprint — which covers the training
+    matrix and every predictor variant — so a changed dataset or variant
+    set starts a fresh fold store rather than resuming a stale one.
+    """
+    return cache_dir(cache_directory) / f"protocol-{scale.name}-{fingerprint}"
+
+
 def store_status(
     scale: Scale, cache_directory: str | Path | None = None
 ) -> StoreStatus:

@@ -54,6 +54,21 @@ def run_crossval(data: ExperimentData) -> CrossValResult:
     return _CROSSVAL_CACHE[key]
 
 
+def seed_crossval_cache(data: ExperimentData, result: CrossValResult) -> None:
+    """Install a protocol-pipeline result as the memoised CV for a scale.
+
+    The pipeline's checkpointed base variant is the same computation as
+    :func:`run_crossval` (identical fold function, identical oracle), so
+    seeding lets every figure and table consume the resumable pipeline's
+    output instead of recomputing the sweep in-process.
+    """
+    _CROSSVAL_CACHE[data.scale.fingerprint()] = result
+
+
+def _crossval(data: ExperimentData, crossval: CrossValResult | None):
+    return crossval if crossval is not None else run_crossval(data)
+
+
 def _bar(value: float, scale: float, width: int = 10) -> str:
     filled = 0 if scale <= 0 else int(round(width * min(value / scale, 1.0)))
     return "#" * filled + "." * (width - filled)
@@ -226,8 +241,10 @@ class Figure5Result:
         return "\n".join(lines)
 
 
-def figure5(data: ExperimentData) -> Figure5Result:
-    result = run_crossval(data)
+def figure5(
+    data: ExperimentData, crossval: CrossValResult | None = None
+) -> Figure5Result:
+    result = _crossval(data, crossval)
     P = len(data.training.program_names)
     M = len(data.training.machines)
     best = np.empty((P, M))
@@ -289,8 +306,10 @@ class Figure6Result:
         return "\n".join(lines)
 
 
-def figure6(data: ExperimentData) -> Figure6Result:
-    result = run_crossval(data)
+def figure6(
+    data: ExperimentData, crossval: CrossValResult | None = None
+) -> Figure6Result:
+    result = _crossval(data, crossval)
     by_program = result.by_program()
     programs = list(data.training.program_names)
     model = np.array(
@@ -360,8 +379,10 @@ class Figure7Result:
         return "\n".join(lines)
 
 
-def figure7(data: ExperimentData) -> Figure7Result:
-    result = run_crossval(data)
+def figure7(
+    data: ExperimentData, crossval: CrossValResult | None = None
+) -> Figure7Result:
+    result = _crossval(data, crossval)
     by_machine = result.by_machine()
     machines = list(data.training.machines)
     model = np.array(

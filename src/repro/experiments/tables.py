@@ -15,8 +15,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compiler.flags import o3_setting
+from repro.core.crossval import CrossValResult
 from repro.experiments.dataset import ExperimentData
-from repro.experiments.figures import run_crossval
+from repro.experiments.figures import _crossval
 from repro.machine.params import BASE_GRID, EXTENDED_GRID, MicroArchSpace
 from repro.machine.xscale import xscale
 from repro.sim.analytic import simulate_analytic
@@ -122,8 +123,10 @@ class HeadlineResult:
         )
 
 
-def headline(data: ExperimentData) -> HeadlineResult:
-    result = run_crossval(data)
+def headline(
+    data: ExperimentData, crossval: CrossValResult | None = None
+) -> HeadlineResult:
+    result = _crossval(data, crossval)
     speedups = data.training.speedups()  # [P, S, M]
     worst = speedups.min(axis=1)  # worst setting per pair
     return HeadlineResult(
@@ -173,14 +176,16 @@ class IterationsToMatchResult:
         return "\n".join(lines)
 
 
-def iterations_to_match(data: ExperimentData) -> IterationsToMatchResult:
+def iterations_to_match(
+    data: ExperimentData, crossval: CrossValResult | None = None
+) -> IterationsToMatchResult:
     """Replay the training matrix as a random-search trajectory per pair.
 
     The training settings are i.i.d. uniform draws, so the running minimum
     over their given order *is* a random search; the first index at which
     it reaches the model's runtime is the §5.3 statistic.
     """
-    result = run_crossval(data)
+    result = _crossval(data, crossval)
     runtimes = data.training.runtimes  # [P, S, M]
     trajectory = np.minimum.accumulate(runtimes, axis=1)
     budget = runtimes.shape[1]

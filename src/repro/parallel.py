@@ -92,6 +92,8 @@ def run_batch_completed(
     items: Sequence[T] | Iterable[T],
     jobs: int | None = 1,
     executor: str = "auto",
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> Iterator[tuple[int, R]]:
     """Apply ``function`` to every item, yielding ``(index, result)`` pairs
     as each one finishes.
@@ -101,17 +103,27 @@ def run_batch_completed(
     runner) never holds more than the in-flight items un-persisted.  The
     item/function contract is the same as :func:`run_batch`; item ``i``'s
     result is always paired with index ``i``, whatever order it arrives.
+
+    ``initializer(*initargs)`` runs once per pool worker before any item,
+    the standard way to ship one large shared payload (e.g. a training
+    matrix) to process workers instead of pickling it into every item.
+    It is called once inline for the serial path, so worker-state set-up
+    behaves identically across strategies.
     """
     items = list(items)
     workers, executor = resolve_strategy(jobs, executor, len(items))
     if executor == "serial" or workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         for index, item in enumerate(items):
             yield index, function(item)
         return
     pool_type = (
         ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
     )
-    pool = pool_type(max_workers=workers)
+    pool = pool_type(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    )
     try:
         futures = {
             pool.submit(function, item): index

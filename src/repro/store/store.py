@@ -325,7 +325,7 @@ class ExperimentStore:
             "chunk_machines": self.grid.chunk_machines,
             "metadata": self.grid.metadata,
         }
-        _atomic_write_text(
+        atomic_write_text(
             self.root / self.MANIFEST_NAME, json.dumps(manifest, indent=1)
         )
 
@@ -403,7 +403,7 @@ class ExperimentStore:
             self._memory[key] = arrays
             return
         npz_path, sidecar_path = self._shard_paths(key)
-        tmp = _tmp_sibling(npz_path)
+        tmp = tmp_sibling(npz_path)
         with open(tmp, "wb") as handle:
             np.savez(handle, **dict(zip(_SHARD_ARRAY_NAMES, arrays)))
         os.replace(tmp, npz_path)
@@ -417,7 +417,7 @@ class ExperimentStore:
             "grid_fingerprint": self.grid.fingerprint(),
             "fingerprint": shard_fingerprint(arrays),
         }
-        _atomic_write_text(sidecar_path, json.dumps(sidecar))
+        atomic_write_text(sidecar_path, json.dumps(sidecar))
         self._known_complete.add(key)
 
     def read_shard(self, key: ShardKey, verify: bool = True) -> ShardArrays:
@@ -585,7 +585,7 @@ def shard_fingerprint(arrays: Sequence[np.ndarray]) -> str:
     return digest.hexdigest()[:16]
 
 
-def _tmp_sibling(path: Path) -> Path:
+def tmp_sibling(path: Path) -> Path:
     """A writer-unique temp path next to ``path``.
 
     Uniqueness (pid + random) keeps concurrent writers of the same shard
@@ -596,7 +596,7 @@ def _tmp_sibling(path: Path) -> Path:
     return path.parent / f".{path.name}.{os.getpid()}.{token}.tmp"
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    tmp = _tmp_sibling(path)
+def atomic_write_text(path: Path, text: str) -> None:
+    tmp = tmp_sibling(path)
     tmp.write_text(text)
     os.replace(tmp, path)

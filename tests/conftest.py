@@ -139,3 +139,18 @@ def tiny_data():
     from repro.experiments.dataset import load_or_build
 
     return load_or_build(TINY, use_disk_cache=False)
+
+
+@pytest.fixture(scope="session")
+def tiny_protocol(tiny_data):
+    """Session-cached full TINY paper-protocol run (in-memory fold store).
+
+    One complete `Session.run_protocol` — every variant, every artifact —
+    shared by the golden-protocol pins and the report tests.
+    """
+    from repro.api import Session
+
+    session = Session("tiny", use_disk_cache=False)
+    outcome = session.run_protocol()
+    assert outcome.complete
+    return outcome
