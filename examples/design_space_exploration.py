@@ -41,7 +41,7 @@ def main() -> None:
     ]
     # The whole sweep is one batched evaluation: every (setting, machine)
     # point is independent, so it parallelises across all cores.
-    results = session.evaluate_batch(
+    results = session.eval.batch(
         [
             EvaluationRequest(program, machine, setting)
             for machine in machines

@@ -39,9 +39,9 @@ def main() -> None:
         seed=7,
         compiler=session.compiler,
     )
-    session.fit(training)
+    session.models.fit(training)
 
-    prediction = session.predict(TARGET, target_machine)
+    prediction = session.models.predict(TARGET, target_machine)
     model_runtime = prediction.predicted_run.seconds
     print(f"pair: {TARGET} on {target_machine.label()}")
     print(f"model one-shot speedup over -O3: {prediction.speedup_over_o3:.3f}x\n")
@@ -53,7 +53,7 @@ def main() -> None:
         ("genetic algorithm", "genetic"),
         ("combined elimination", "combined-elimination"),
     ]:
-        outcome = session.search(
+        outcome = session.eval.search(
             SearchRequest(
                 program=TARGET,
                 machine=target_machine,

@@ -1,13 +1,18 @@
 """The full portable-compiler deployment flow of the paper's Figure 2.
 
 1. Off-line, once: generate training data (N random flag settings on a set
-   of program/microarchitecture pairs), fit the model, and persist it.
+   of program/microarchitecture pairs), fit the model, and **register** it
+   in the versioned model registry — the artifact deployments serve from.
 2. A *new* program arrives on a *new* microarchitecture (neither was in the
-   training data): reload the model, run the program once at -O3, read the
-   11 hardware counters, predict the best passes, recompile, done.
+   training data): a fresh session loads the registry's *promoted* model,
+   runs the program once at -O3, reads the 11 hardware counters, predicts
+   the best passes, recompiles, done.
 
-Everything goes through the Session façade, including the train → save →
-load → predict model lifecycle.
+Everything goes through the Session facets: ``session.models`` owns the
+train -> register -> promote -> load -> predict lifecycle and
+``session.eval`` the batched evaluation.  (This is the same registry the
+``repro-experiments serve`` prediction service answers ``POST /predict``
+from.)
 
 Run:  python examples/portable_compiler.py
 """
@@ -41,18 +46,18 @@ def main() -> None:
         seed=7,
         compiler=session.compiler,
     )
-    session.fit(training)
-    model_path = Path(tempfile.mkdtemp(prefix="portable-compiler-")) / "model.json"
-    session.save_model(model_path)
-    print(f"model fitted and saved to {model_path} "
-          f"(training fingerprint {session.model_fingerprint}).\n")
+    session.models.fit(training)
+    registry_dir = Path(tempfile.mkdtemp(prefix="portable-compiler-")) / "registry"
+    entry = session.models.register(registry=registry_dir, promote=True)
+    print(f"model fitted, registered as v{entry.version:04d} and promoted "
+          f"(training fingerprint {session.models.fingerprint}).\n")
 
-    # --- deployment (§3.4): a fresh session reloads the persisted model ----
+    # --- deployment (§3.4): a fresh session serves the promoted model ------
     deployment = Session()
-    deployment.load_model(model_path)
+    deployment.models.load_registered(registry=registry_dir)
     print(f"new program '{NEW_PROGRAM}' on new machine {new_machine.label()}")
 
-    prediction = deployment.predict(NEW_PROGRAM, new_machine)
+    prediction = deployment.models.predict(NEW_PROGRAM, new_machine)
     enabled = [
         name for name in ("finline_functions", "fschedule_insns",
                           "funswitch_loops", "funroll_loops", "fgcse",
@@ -68,7 +73,7 @@ def main() -> None:
 
     # For reference: what 80 evaluations of iterative compilation achieve,
     # evaluated as one parallel batch.
-    runs = deployment.evaluate_batch(
+    runs = deployment.eval.batch(
         [
             EvaluationRequest(NEW_PROGRAM, new_machine, setting)
             for setting in training.settings

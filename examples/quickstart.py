@@ -48,7 +48,7 @@ def main() -> None:
         for machine, _ in machines
         for setting in (None, lean_setting)
     ]
-    results = session.evaluate_batch(requests, jobs=2)
+    results = session.eval.batch(requests, jobs=2)
 
     for index, (machine, label) in enumerate(machines):
         o3_run, lean_run = results[2 * index], results[2 * index + 1]
@@ -64,7 +64,7 @@ def main() -> None:
 
     # The 11 Table 1 counters of a single -O3 profiling run — exactly the
     # `c` part of the model's feature vector x = (c, d).
-    profile = session.evaluate(program, xscale())
+    profile = session.eval.evaluate(program, xscale())
     print("Table 1 counters of the -O3 profiling run on the XScale:")
     for name, value in zip(COUNTER_NAMES, profile.counters.vector()):
         print(f"  {name:18s} {value:10.4f}")

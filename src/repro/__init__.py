@@ -30,6 +30,13 @@ The package is organised around the paper's Figure 2 pipeline:
   generation checkpointed as append-only fingerprinted shards, built
   through a compile-once/simulate-many hot path, bit-identical however
   (and however often) a run is interrupted.
+* :mod:`repro.api` — the unified façade: the faceted :class:`Session`
+  (``data``/``models``/``eval``/``protocol``) plus the versioned model
+  registry deployments serve from.
+* :mod:`repro.service` — the deployable end product: a stdlib-only HTTP
+  prediction service (``repro-experiments serve``) answering ranked
+  flag-setting queries from the registry's promoted model and streaming
+  background protocol-job progress as NDJSON.
 """
 
 from repro.compiler import (

@@ -1,17 +1,20 @@
 """repro.api — the unified front door to the reproduction pipeline.
 
-Everything the CLI, the experiments, the examples, and downstream users
-need goes through :class:`Session`:
+Everything the CLI, the experiments, the examples, the prediction
+service, and downstream users need goes through :class:`Session`, whose
+surface is split into four lazily-constructed facets:
 
-* **Evaluation** — :meth:`Session.evaluate` /
-  :meth:`Session.evaluate_batch` compile-and-simulate (program, setting,
-  machine) triples, optionally in parallel, against any registered
+* **``session.eval``** — compile-and-simulate (program, setting, machine)
+  triples, optionally in parallel, against any registered
   :class:`SimulatorBackend` (the fast analytic model or the trace-driven
-  reference tier).
-* **Model lifecycle** — :meth:`Session.fit`, :meth:`Session.predict`,
-  :meth:`Session.save_model`, :meth:`Session.load_model`.
-* **Search** — :meth:`Session.search` runs the iterative-compilation
-  baselines through the same backends.
+  reference tier); plus the iterative-compilation search baselines.
+* **``session.models``** — fit/predict/rank, file persistence, and the
+  versioned :class:`ModelRegistry` (register/promote/rollback) the
+  prediction service deploys from.
+* **``session.data``** — the sharded, resumable experiment store.
+* **``session.protocol``** — the checkpointed paper-protocol fold grid.
+
+The pre-v2 flat ``Session`` methods remain as deprecation shims.
 """
 
 from repro.api.backends import (
@@ -22,12 +25,26 @@ from repro.api.backends import (
     resolve_backend,
 )
 from repro.parallel import EXECUTORS, resolve_jobs, run_batch
+from repro.api.facets import (
+    DataFacet,
+    EvalFacet,
+    ModelsFacet,
+    ProtocolFacet,
+)
 from repro.api.persistence import load_predictor, save_predictor
+from repro.api.registry import (
+    ModelRegistry,
+    ModelVersion,
+    RegistryError,
+    registry_root,
+)
 from repro.api.session import SEARCH_ALGORITHMS, ProtocolRun, Session
 from repro.api.types import (
     EvaluationRequest,
     EvaluationResult,
     PredictionResult,
+    RankedPrediction,
+    RankedSetting,
     SearchOutcome,
     SearchRequest,
 )
@@ -35,11 +52,20 @@ from repro.api.types import (
 __all__ = [
     "AnalyticBackend",
     "BACKENDS",
+    "DataFacet",
     "EXECUTORS",
+    "EvalFacet",
     "EvaluationRequest",
     "EvaluationResult",
+    "ModelRegistry",
+    "ModelVersion",
+    "ModelsFacet",
     "PredictionResult",
+    "ProtocolFacet",
     "ProtocolRun",
+    "RankedPrediction",
+    "RankedSetting",
+    "RegistryError",
     "SEARCH_ALGORITHMS",
     "SearchOutcome",
     "SearchRequest",
@@ -47,6 +73,7 @@ __all__ = [
     "SimulatorBackend",
     "TraceBackend",
     "load_predictor",
+    "registry_root",
     "resolve_backend",
     "resolve_jobs",
     "run_batch",

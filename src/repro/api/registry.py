@@ -1,0 +1,350 @@
+"""The versioned model registry: trained predictors as deployable artifacts.
+
+A :class:`ModelRegistry` owns a directory of immutable, digest-verified
+model files plus one mutable promotion pointer::
+
+    registry/
+        models/
+            v0001.json       # {"format", "version", "digest", "fingerprint",
+            v0002.json       #  "metadata", "model": <predictor state>}
+            ...
+        promoted.json        # {"format", "current": 2, "history": [1]}
+
+Model files follow the store-shard rules: written atomically, content
+digested, and never rewritten — :meth:`ModelRegistry.register` allocates
+the next free version with an exclusive link, so two sessions registering
+concurrently can never collide on a version or corrupt each other.  The
+promotion pointer is a single atomically-replaced JSON document carrying
+its own history, which is what :meth:`ModelRegistry.rollback` pops.
+
+This replaces the ad-hoc ``save_model(path)`` / ``load_model(path)``
+lifecycle for deployments: the prediction service always serves the
+registry's *promoted* model, and promoting/rolling back is a metadata
+flip, never a model rewrite.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import fcntl
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.compiler.flags import DEFAULT_SPACE, FlagSpace
+from repro.core.predictor import OptimisationPredictor
+from repro.store.store import atomic_write_text, tmp_sibling
+
+#: Registry file schema version; bump on incompatible layout changes.
+REGISTRY_FORMAT = 1
+
+_MODEL_FILE = re.compile(r"^v(\d{4,})\.json$")
+
+
+class RegistryError(RuntimeError):
+    """A registry entry is missing, corrupt, or from another format."""
+
+
+def registry_root(cache_directory: str | Path | None = None) -> Path:
+    """Where the default registry lives under the dataset cache root."""
+    from repro.experiments.dataset import cache_dir
+
+    return cache_dir(cache_directory) / "registry"
+
+
+def _entry_digest(payload: dict) -> str:
+    """Content digest over everything but the digest itself.
+
+    Canonical JSON keeps the digest bit-exact: floats serialise as their
+    shortest round-tripping repr, so two registrations of the same fitted
+    model — and only those — share a digest.
+    """
+    canonical = json.dumps(
+        {
+            "fingerprint": payload.get("fingerprint"),
+            "metadata": payload.get("metadata", {}),
+            "model": payload["model"],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One registered model's provenance (everything but its weights)."""
+
+    version: int
+    digest: str
+    fingerprint: str | None
+    metadata: dict = field(default_factory=dict)
+    promoted: bool = False
+
+    def describe(self) -> str:
+        marker = " *promoted*" if self.promoted else ""
+        fingerprint = self.fingerprint or "-"
+        scale = self.metadata.get("scale", "-")
+        return (
+            f"v{self.version:04d}  digest {self.digest}  "
+            f"training {fingerprint}  scale {scale}{marker}"
+        )
+
+
+class ModelRegistry:
+    """Versioned, fingerprint-addressed trained models on disk.
+
+    Registration is append-only and race-free (exclusive version
+    allocation, atomic writes); promotion is an atomically-replaced
+    pointer whose history makes :meth:`rollback` possible.  Reads verify
+    the stored content digest, so a torn or tampered model file raises
+    instead of silently serving wrong predictions.
+    """
+
+    MODEL_DIR = "models"
+    PROMOTED_NAME = "promoted.json"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ paths
+    def _model_dir(self) -> Path:
+        return self.root / self.MODEL_DIR
+
+    def _model_path(self, version: int) -> Path:
+        return self._model_dir() / f"v{version:04d}.json"
+
+    def _promoted_path(self) -> Path:
+        return self.root / self.PROMOTED_NAME
+
+    # ------------------------------------------------------------- inventory
+    def versions(self) -> list[int]:
+        """Registered version numbers, ascending (unreadable names skipped)."""
+        directory = self._model_dir()
+        if not directory.exists():
+            return []
+        found = []
+        for path in directory.iterdir():
+            match = _MODEL_FILE.match(path.name)
+            if match is not None:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def list(self) -> list[ModelVersion]:
+        """Provenance of every registered model, ascending by version."""
+        promoted = self.promoted_version()
+        entries = []
+        for version in self.versions():
+            payload = self._read_entry(version)
+            entries.append(
+                ModelVersion(
+                    version=version,
+                    digest=payload["digest"],
+                    fingerprint=payload.get("fingerprint"),
+                    metadata=dict(payload.get("metadata", {})),
+                    promoted=(version == promoted),
+                )
+            )
+        return entries
+
+    def _read_entry(self, version: int) -> dict:
+        path = self._model_path(version)
+        if not path.exists():
+            raise RegistryError(f"no model v{version:04d} in registry {self.root}")
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise RegistryError(f"model v{version:04d} is unreadable: {error}")
+        if payload.get("format") != REGISTRY_FORMAT:
+            raise RegistryError(
+                f"model v{version:04d} uses format {payload.get('format')!r}, "
+                f"expected {REGISTRY_FORMAT}"
+            )
+        if _entry_digest(payload) != payload.get("digest"):
+            raise RegistryError(
+                f"model v{version:04d} is corrupt: content digest mismatch"
+            )
+        return payload
+
+    # ----------------------------------------------------------- registration
+    def register(
+        self,
+        predictor: OptimisationPredictor,
+        fingerprint: str | None = None,
+        metadata: dict | None = None,
+        promote: bool = False,
+    ) -> ModelVersion:
+        """Store a fitted predictor as the next version; never overwrites.
+
+        Version allocation is exclusive: the entry is staged to a temp
+        file and linked into place, so two concurrent registrations get
+        two distinct versions — whichever loses the race for a number
+        simply takes the next one.
+        """
+        payload = {
+            "format": REGISTRY_FORMAT,
+            "fingerprint": fingerprint,
+            "metadata": dict(metadata or {}),
+            "model": predictor.get_state(),
+        }
+        payload["digest"] = _entry_digest(payload)
+        self._model_dir().mkdir(parents=True, exist_ok=True)
+        version = (self.versions() or [0])[-1] + 1
+        while True:
+            target = self._model_path(version)
+            payload["version"] = version
+            tmp = tmp_sibling(target)
+            tmp.write_text(json.dumps(payload, indent=1))
+            try:
+                os.link(tmp, target)
+            except FileExistsError:
+                version += 1  # lost the race: take the next number
+                continue
+            finally:
+                tmp.unlink(missing_ok=True)
+            break
+        entry = ModelVersion(
+            version=version,
+            digest=payload["digest"],
+            fingerprint=fingerprint,
+            metadata=dict(payload["metadata"]),
+        )
+        if promote:
+            return self.promote(version)
+        return entry
+
+    # -------------------------------------------------------------- promotion
+    @contextlib.contextmanager
+    def _pointer_lock(self):
+        """Serialise the pointer's read-modify-write across processes.
+
+        Registration needs no lock (versions are allocated exclusively),
+        but promote/rollback read the current pointer before rewriting
+        it — without mutual exclusion two concurrent promotions would
+        both read the same state and one version would vanish from the
+        rollback history.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / "promoted.lock", "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _read_promoted(self) -> dict:
+        path = self._promoted_path()
+        if not path.exists():
+            return {"format": REGISTRY_FORMAT, "current": None, "history": []}
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise RegistryError(f"promotion pointer is unreadable: {error}")
+        if payload.get("format") != REGISTRY_FORMAT:
+            raise RegistryError(
+                f"promotion pointer uses format {payload.get('format')!r}, "
+                f"expected {REGISTRY_FORMAT}"
+            )
+        return payload
+
+    def promoted_version(self) -> int | None:
+        """The currently promoted version (``None`` when nothing is)."""
+        current = self._read_promoted().get("current")
+        return None if current is None else int(current)
+
+    def promote(self, version: int) -> ModelVersion:
+        """Point deployments at ``version`` (verified first)."""
+        entry = self._read_entry(version)  # digest-verified, must exist
+        with self._pointer_lock():
+            state = self._read_promoted()
+            previous = state.get("current")
+            history = [int(item) for item in state.get("history", [])]
+            if previous is not None and int(previous) != version:
+                history.append(int(previous))
+            atomic_write_text(
+                self._promoted_path(),
+                json.dumps(
+                    {
+                        "format": REGISTRY_FORMAT,
+                        "current": version,
+                        "history": history,
+                    }
+                ),
+            )
+        return ModelVersion(
+            version=version,
+            digest=entry["digest"],
+            fingerprint=entry.get("fingerprint"),
+            metadata=dict(entry.get("metadata", {})),
+            promoted=True,
+        )
+
+    def rollback(self) -> ModelVersion:
+        """Re-promote the previously promoted version."""
+        with self._pointer_lock():
+            state = self._read_promoted()
+            history = [int(item) for item in state.get("history", [])]
+            if not history:
+                raise RegistryError(
+                    "nothing to roll back to: promotion history is empty"
+                )
+            version = history.pop()
+            entry = self._read_entry(version)
+            atomic_write_text(
+                self._promoted_path(),
+                json.dumps(
+                    {
+                        "format": REGISTRY_FORMAT,
+                        "current": version,
+                        "history": history,
+                    }
+                ),
+            )
+        return ModelVersion(
+            version=version,
+            digest=entry["digest"],
+            fingerprint=entry.get("fingerprint"),
+            metadata=dict(entry.get("metadata", {})),
+            promoted=True,
+        )
+
+    # ----------------------------------------------------------------- loading
+    def load(
+        self, version: int | None = None, space: FlagSpace = DEFAULT_SPACE
+    ) -> tuple[OptimisationPredictor, ModelVersion]:
+        """Rebuild a registered predictor (default: the promoted one)."""
+        if version is None:
+            version = self.promoted_version()
+            if version is None:
+                raise RegistryError(
+                    f"registry {self.root} has no promoted model; "
+                    "register one with promote=True or call promote()"
+                )
+            promoted = True
+        else:
+            promoted = version == self.promoted_version()
+        payload = self._read_entry(version)
+        predictor = OptimisationPredictor.from_state(payload["model"], space=space)
+        return predictor, ModelVersion(
+            version=version,
+            digest=payload["digest"],
+            fingerprint=payload.get("fingerprint"),
+            metadata=dict(payload.get("metadata", {})),
+            promoted=promoted,
+        )
+
+    def render(self) -> str:
+        """Human-readable inventory for the CLI ``models`` command."""
+        entries = self.list()
+        lines = [f"model registry {self.root}"]
+        if not entries:
+            lines.append("  (empty — register one with: repro-experiments train)")
+            return "\n".join(lines)
+        for entry in entries:
+            lines.append(f"  {entry.describe()}")
+        if self.promoted_version() is None:
+            lines.append("  no model promoted yet")
+        return "\n".join(lines)

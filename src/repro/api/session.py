@@ -1,139 +1,67 @@
-"""The Session façade: one front door to the whole pipeline.
+"""The Session: one front door to the whole pipeline, split into facets.
 
 A :class:`Session` owns the pieces every consumer used to hand-wire —
 compiler, flag space, machine space, simulator backend, dataset caches —
-and exposes the full train/predict/search/evaluate loop:
+and exposes them through four lazily-constructed facets:
 
     >>> from repro.api import Session
     >>> session = Session(scale="tiny")
-    >>> session.fit()                               # train on the dataset
+    >>> session.models.fit()                       # train on the dataset
     >>> machine = session.machines(1, seed=99)[0]
-    >>> session.predict("sha", machine).speedup_over_o3
-    >>> session.save_model("model.json")            # persist for deployment
+    >>> session.models.predict("sha", machine).speedup_over_o3
+    >>> session.models.register(promote=True)      # version it for serving
+    >>> session.eval.batch([...], jobs=4)          # parallel evaluation
+    >>> session.protocol.run(only="headline")      # the paper protocol
 
-Batches of independent (program, setting, machine) triples run through
-:meth:`Session.evaluate_batch`, which fans out over threads or processes
-(the ``--jobs`` knob) and always returns results identical to serial
-execution, in request order.
+``session.data`` manages the sharded experiment store, ``session.models``
+the model lifecycle (fit/predict/rank/persistence/registry),
+``session.eval`` evaluation and search, and ``session.protocol`` the
+resumable paper protocol.  The pre-v2 flat methods (``session.fit``,
+``session.evaluate_batch``, ...) remain as thin shims that forward to the
+facets and emit a :class:`DeprecationWarning` once per process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
 
-from repro.api.backends import SimulatorBackend, resolve_backend
-from repro.api.persistence import load_predictor, save_predictor
-from repro.api.types import (
-    EvaluationRequest,
-    EvaluationResult,
-    PredictionResult,
-    SearchOutcome,
-    SearchRequest,
+from repro.api.backends import resolve_backend
+from repro.api.facets import (
+    SEARCH_ALGORITHMS,
+    DataFacet,
+    EvalFacet,
+    ModelsFacet,
+    ProtocolFacet,
+    ProtocolRun,
 )
 from repro.compiler.binary import CompiledBinary
 from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace, o3_setting
 from repro.compiler.ir import Program
 from repro.compiler.pipeline import Compiler
-from repro.core.predictor import (
-    DEFAULT_BETA,
-    DEFAULT_K,
-    DEFAULT_QUANTILE,
-    OptimisationPredictor,
-)
-from repro.core.training import TrainingSet
-from repro.evalrun import (
-    EvaluationPipeline,
-    FoldStore,
-    PipelineRunStats,
-    ProtocolReport,
-    protocol_fingerprint,
-    protocol_variants,
-    render_report,
-    resolve_artifacts,
-    variants_for_artifacts,
-)
-from repro.evalrun.foldstore import FoldStoreStatus
+from repro.core.predictor import OptimisationPredictor
+from repro.evalrun import FoldStore
 from repro.experiments.config import Scale, preset
-from repro.experiments.dataset import (
-    ExperimentData,
-    experiment_store,
-    grid_for_scale,
-    load_or_build,
-    protocol_store_root,
-    store_status,
-)
-from repro.experiments.figures import seed_crossval_cache
-from repro.store import ExperimentRunner, ExperimentStore, StoreStatus
 from repro.machine.params import MicroArch, MicroArchSpace
-from repro.parallel import resolve_jobs, run_batch
+from repro.parallel import resolve_jobs
 from repro.programs.mibench import mibench_program
-from repro.search.combined_elimination import combined_elimination
-from repro.search.evaluator import Evaluator
-from repro.search.genetic import genetic_search
-from repro.search.hillclimb import hill_climb
-from repro.search.random_search import random_search
+from repro.store import ExperimentStore
 
-#: Registered iterative-compilation drivers: name -> (evaluator, budget,
-#: seed, space) -> SearchResult.  Aliases share an entry.
-SEARCH_ALGORITHMS: dict[str, Callable] = {
-    "random": lambda ev, budget, seed, space: random_search(
-        ev, budget, seed=seed, space=space
-    ),
-    "hillclimb": lambda ev, budget, seed, space: hill_climb(
-        ev, budget, seed=seed, space=space
-    ),
-    "genetic": lambda ev, budget, seed, space: genetic_search(
-        ev, budget, seed=seed, space=space
-    ),
-    "combined-elimination": lambda ev, budget, seed, space: combined_elimination(
-        ev, seed=seed, budget=budget, space=space
-    ),
-}
-SEARCH_ALGORITHMS["ce"] = SEARCH_ALGORITHMS["combined-elimination"]
+__all__ = ["SEARCH_ALGORITHMS", "ProtocolRun", "Session"]
 
-@dataclass
-class ProtocolRun:
-    """Outcome of one :meth:`Session.run_protocol` call.
-
-    ``report`` is ``None`` when a ``max_folds`` cap left folds pending —
-    re-run (resume) to finish; everything checkpointed so far is kept.
-    """
-
-    stats: PipelineRunStats
-    status: FoldStoreStatus
-    report: ProtocolReport | None = None
-
-    @property
-    def complete(self) -> bool:
-        return self.report is not None
+#: Flat shim methods that have already warned this process (the
+#: DeprecationWarning fires once per method name, not per call).
+_DEPRECATION_WARNED: set[str] = set()
 
 
-#: Per-process compiler for process-pool workers; built lazily so forked
-#: children that never evaluate pay nothing.
-_WORKER_COMPILER: Compiler | None = None
-
-
-def _evaluate_work(
-    work: tuple[Program, FlagSetting, MicroArch, SimulatorBackend],
-    compiler: Compiler | None = None,
-) -> EvaluationResult:
-    """One batch item; module-level so process pools can pickle it."""
-    global _WORKER_COMPILER
-    program, setting, machine, backend = work
-    if compiler is None:
-        if _WORKER_COMPILER is None:
-            _WORKER_COMPILER = Compiler()
-        compiler = _WORKER_COMPILER
-    binary = compiler.compile(program, setting)
-    simulation = backend.run(binary, machine)
-    return EvaluationResult(
-        program=program.name,
-        machine=machine,
-        setting=setting.canonical(),
-        backend=backend.name,
-        simulation=simulation,
+def _warn_deprecated(flat: str, replacement: str) -> None:
+    if flat in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(flat)
+    warnings.warn(
+        f"Session.{flat}() is deprecated; use session.{replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
@@ -142,7 +70,7 @@ class Session:
 
     Args:
         scale: experiment scale preset name or :class:`Scale` (default
-            ``"quick"``); governs :meth:`dataset` and :meth:`fit`.
+            ``"quick"``); governs ``session.data`` and ``session.models``.
         backend: default simulator backend (name, class, or instance).
         jobs: default worker count for batches and dataset builds
             (1 = serial, negative = all cores).
@@ -182,10 +110,40 @@ class Session:
         self.model: OptimisationPredictor | None = None
         self.model_fingerprint: str | None = None
         #: Cache-less sessions keep one in-memory store per scale so
-        #: build_dataset/dataset_status/dataset all see the same shards.
+        #: data.build/data.status/data.dataset all see the same shards.
         self._memory_stores: dict[str, ExperimentStore] = {}
         #: Likewise for protocol fold stores, keyed by protocol fingerprint.
         self._memory_fold_stores: dict[str, FoldStore] = {}
+        #: Facets, constructed on first access.
+        self._facets: dict[str, object] = {}
+
+    # --------------------------------------------------------------- facets
+    def _facet(self, name: str, factory):
+        facet = self._facets.get(name)
+        if facet is None:
+            facet = factory(self)
+            self._facets[name] = facet
+        return facet
+
+    @property
+    def data(self) -> DataFacet:
+        """Dataset lifecycle: the sharded, resumable experiment store."""
+        return self._facet("data", DataFacet)
+
+    @property
+    def models(self) -> ModelsFacet:
+        """Model lifecycle: fit/predict/rank, persistence, the registry."""
+        return self._facet("models", ModelsFacet)
+
+    @property
+    def eval(self) -> EvalFacet:
+        """Evaluation: one triple, parallel batches, search baselines."""
+        return self._facet("eval", EvalFacet)
+
+    @property
+    def protocol(self) -> ProtocolFacet:
+        """The resumable paper protocol: fold store, pipeline, report."""
+        return self._facet("protocol", ProtocolFacet)
 
     # ------------------------------------------------------------- resolvers
     @staticmethod
@@ -224,403 +182,82 @@ class Session:
             setting if setting is not None else o3_setting(),
         )
 
-    # ------------------------------------------------------------ evaluation
-    def evaluate(
-        self,
-        request: EvaluationRequest | Program | str,
-        machine: MicroArch | None = None,
-        setting: FlagSetting | None = None,
-        backend: object | None = None,
-    ) -> EvaluationResult:
-        """Compile-and-simulate one triple (default setting: -O3)."""
-        if not isinstance(request, EvaluationRequest):
-            if machine is None:
-                raise TypeError("evaluate() needs a machine")
-            request = EvaluationRequest(
-                program=request, machine=machine, setting=setting, backend=backend
-            )
-        return _evaluate_work(self._work_item(request), compiler=self.compiler)
+    # ------------------------------------------------------ deprecated shims
+    # The flat pre-v2 surface.  Each method forwards to its facet and
+    # warns (once per process); behaviour is otherwise identical, and both
+    # surfaces share the same session state during migration.
 
-    def _work_item(
-        self, request: EvaluationRequest
-    ) -> tuple[Program, FlagSetting, MicroArch, SimulatorBackend]:
-        backend = (
-            self.backend
-            if request.backend is None
-            else resolve_backend(request.backend)
-        )
-        setting = request.setting if request.setting is not None else o3_setting()
-        return (self.program(request.program), setting, request.machine, backend)
+    def evaluate(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.eval.evaluate <EvalFacet.evaluate>`."""
+        _warn_deprecated("evaluate", "eval.evaluate")
+        return self.eval.evaluate(*args, **kwargs)
 
-    def evaluate_batch(
-        self,
-        requests: Iterable[EvaluationRequest | tuple],
-        jobs: int | None = None,
-        executor: str | None = None,
-    ) -> list[EvaluationResult]:
-        """Evaluate many triples, preserving request order.
+    def evaluate_batch(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.eval.batch <EvalFacet.batch>`."""
+        _warn_deprecated("evaluate_batch", "eval.batch")
+        return self.eval.batch(*args, **kwargs)
 
-        Requests may be :class:`EvaluationRequest` objects or
-        ``(program, machine[, setting])`` tuples.  With ``jobs > 1`` the
-        batch fans out over the chosen executor; results are identical to
-        a serial run.
-        """
-        normalised = [
-            request
-            if isinstance(request, EvaluationRequest)
-            else EvaluationRequest(*request)
-            for request in requests
-        ]
-        items = [self._work_item(request) for request in normalised]
-        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
-        strategy = executor if executor is not None else self.executor
-        if strategy == "auto":
-            strategy = "process" if jobs > 1 else "serial"
-        if strategy != "process":
-            # Serial and thread runs share this process's memory, so they
-            # go through the session compiler and its memoisation.
-            def work(item):
-                return _evaluate_work(item, compiler=self.compiler)
+    def speedup_over_o3(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.eval.speedup_over_o3`."""
+        _warn_deprecated("speedup_over_o3", "eval.speedup_over_o3")
+        return self.eval.speedup_over_o3(*args, **kwargs)
 
-            return run_batch(work, items, jobs=jobs, executor=strategy)
-        return run_batch(_evaluate_work, items, jobs=jobs, executor=strategy)
+    def evaluator(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.eval.evaluator <EvalFacet.evaluator>`."""
+        _warn_deprecated("evaluator", "eval.evaluator")
+        return self.eval.evaluator(*args, **kwargs)
 
-    def speedup_over_o3(
-        self,
-        program: Program | str,
-        machine: MicroArch,
-        setting: FlagSetting,
-        backend: object | None = None,
-    ) -> float:
-        """Speedup of ``setting`` over -O3 on one pair (> 1 is faster)."""
-        o3, tuned = self.evaluate_batch(
-            [
-                EvaluationRequest(program, machine, backend=backend),
-                EvaluationRequest(program, machine, setting, backend=backend),
-            ],
-            jobs=1,
-        )
-        return o3.runtime / tuned.runtime
+    def search(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.eval.search <EvalFacet.search>`."""
+        _warn_deprecated("search", "eval.search")
+        return self.eval.search(*args, **kwargs)
 
-    # --------------------------------------------------------------- dataset
-    def dataset(
-        self,
-        scale: str | Scale | None = None,
-        progress: Callable[[str], None] | None = None,
-    ) -> ExperimentData:
-        """The (cached) training dataset for a scale (default: session's).
+    def dataset(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.data.dataset <DataFacet.dataset>`."""
+        _warn_deprecated("dataset", "data.dataset")
+        return self.data.dataset(*args, **kwargs)
 
-        Builds run through the sharded :mod:`repro.store` store, so an
-        interrupted build resumes from its last completed shard; the
-        assembled data is bit-identical however it was produced.
-        """
-        resolved = self.scale if scale is None else self._resolve_scale(scale)
-        store = None if self.use_disk_cache else self.experiment_store(resolved)
-        data = load_or_build(
-            resolved,
-            progress=progress,
-            use_disk_cache=self.use_disk_cache,
-            cache_directory=self.cache_dir,
-            jobs=self.jobs,
-            executor=self.executor,
-            store=store,
-        )
-        if store is not None and not store.is_complete():
-            # The dataset was memoised by an earlier (possibly other-
-            # session) build; absorb it so this session's store, status,
-            # and dataset stay consistent.
-            store.adopt(data.training)
-        return data
+    def experiment_store(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.data.store <DataFacet.store>`."""
+        _warn_deprecated("experiment_store", "data.store")
+        return self.data.store(*args, **kwargs)
 
-    def experiment_store(
-        self, scale: str | Scale | None = None
-    ) -> ExperimentStore:
-        """The shard store backing a scale's dataset.
+    def dataset_status(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.data.status <DataFacet.status>`."""
+        _warn_deprecated("dataset_status", "data.status")
+        return self.data.status(*args, **kwargs)
 
-        On disk under the session's cache directory, or — when the
-        session was created with ``use_disk_cache=False`` — a per-scale
-        in-memory store (same API, nothing written) owned by this
-        session, so partial builds survive across calls.
-        """
-        resolved = self.scale if scale is None else self._resolve_scale(scale)
-        if not self.use_disk_cache:
-            key = resolved.fingerprint()
-            store = self._memory_stores.get(key)
-            if store is None:
-                store = ExperimentStore(grid_for_scale(resolved), root=None)
-                self._memory_stores[key] = store
-            return store
-        return experiment_store(resolved, cache_directory=self.cache_dir)
+    def build_dataset(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.data.build <DataFacet.build>`."""
+        _warn_deprecated("build_dataset", "data.build")
+        return self.data.build(*args, **kwargs)
 
-    def dataset_status(self, scale: str | Scale | None = None) -> StoreStatus:
-        """Shard-completion snapshot of a scale's store (read-only)."""
-        resolved = self.scale if scale is None else self._resolve_scale(scale)
-        if not self.use_disk_cache:
-            return self.experiment_store(resolved).status()
-        return store_status(resolved, cache_directory=self.cache_dir)
+    def protocol_store(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.protocol.store <ProtocolFacet.store>`."""
+        _warn_deprecated("protocol_store", "protocol.store")
+        return self.protocol.store(*args, **kwargs)
 
-    def build_dataset(
-        self,
-        scale: str | Scale | None = None,
-        max_shards: int | None = None,
-        progress: Callable[[str], None] | None = None,
-        store: ExperimentStore | None = None,
-    ) -> int:
-        """Advance a scale's store by up to ``max_shards`` shards.
+    def run_protocol(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.protocol.run <ProtocolFacet.run>`."""
+        _warn_deprecated("run_protocol", "protocol.run")
+        return self.protocol.run(*args, **kwargs)
 
-        Each completed shard is checkpointed, so this can be called
-        repeatedly — across processes, interruptions, and executors — and
-        the store converges on the same bit-identical dataset.  Pass an
-        already-opened ``store`` to avoid re-sampling the grid.  Returns
-        the number of shards computed by this call.
-        """
-        if store is None:
-            store = self.experiment_store(scale)
-        runner = ExperimentRunner(
-            store,
-            compiler=self.compiler,
-            jobs=self.jobs,
-            executor=self.executor,
-        )
-        return runner.run(max_shards=max_shards, progress=progress)
+    def fit(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.models.fit <ModelsFacet.fit>`."""
+        _warn_deprecated("fit", "models.fit")
+        return self.models.fit(*args, **kwargs)
 
-    # --------------------------------------------------------- paper protocol
-    def protocol_store(
-        self, data: ExperimentData | None = None, scale: str | Scale | None = None
-    ) -> FoldStore:
-        """The fold store backing a scale's paper-protocol run.
+    def predict(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.models.predict <ModelsFacet.predict>`."""
+        _warn_deprecated("predict", "models.predict")
+        return self.models.predict(*args, **kwargs)
 
-        On disk under the session's cache directory, or — with
-        ``use_disk_cache=False`` — a per-scale in-memory store owned by
-        this session so partial protocol runs survive across calls.
-        Opening the store requires the training matrix (the protocol
-        fingerprint covers it), so the dataset is built first if needed.
-        """
-        if data is None:
-            data = self.dataset(scale)
-        variants = protocol_variants(
-            with_code=data.training.code_features is not None
-        )
-        fingerprint = protocol_fingerprint(data.training, variants)
-        programs = list(data.training.program_names)
-        metadata = {"scale": data.scale.name}
-        if not self.use_disk_cache:
-            store = self._memory_fold_stores.get(fingerprint)
-            if store is None:
-                store = FoldStore(
-                    fingerprint, variants, programs, root=None, metadata=metadata
-                )
-                self._memory_fold_stores[fingerprint] = store
-            return store
-        return FoldStore(
-            fingerprint,
-            variants,
-            programs,
-            root=protocol_store_root(data.scale, fingerprint, self.cache_dir),
-            metadata=metadata,
-        )
+    def save_model(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.models.save <ModelsFacet.save>`."""
+        _warn_deprecated("save_model", "models.save")
+        return self.models.save(*args, **kwargs)
 
-    def run_protocol(
-        self,
-        scale: str | Scale | None = None,
-        *,
-        only: str | Sequence[str] | None = None,
-        max_folds: int | None = None,
-        jobs: int | None = None,
-        executor: str | None = None,
-        progress: Callable[[str], None] | None = None,
-        store: FoldStore | None = None,
-    ) -> ProtocolRun:
-        """Run the full paper protocol — resumably — and render the artifact.
-
-        Builds (or resumes) the scale's dataset through the experiment
-        store, executes the leave-one-out + ablation fold grid through
-        the checkpointing :class:`EvaluationPipeline`, and renders the
-        requested artifacts as markdown + JSON.  Every fold is
-        checkpointed as it completes, so a killed run resumes with zero
-        re-simulation, and the rendered report is byte-identical however
-        the run was interrupted or parallelised.
-
-        Args:
-            only: artifact subset (``"fig6,headline"`` or a sequence);
-                folds that only unrequested artifacts need are not run.
-            max_folds: checkpoint at most this many folds then stop
-                (``report`` is ``None`` if that leaves the grid
-                incomplete; call again to resume).
-            jobs/executor: override the session defaults for this run.
-        """
-        data = self.dataset(scale, progress=progress)
-        if store is None:
-            store = self.protocol_store(data)
-        artifacts = resolve_artifacts(only)
-        with_code = data.training.code_features is not None
-        variant_keys = variants_for_artifacts(artifacts, with_code=with_code)
-        pipeline = EvaluationPipeline(
-            data.training,
-            data.programs,
-            store,
-            jobs=self.jobs if jobs is None else jobs,
-            executor=self.executor if executor is None else executor,
-            compiler=self.compiler,
-        )
-        stats = pipeline.run(
-            variants=variant_keys, max_folds=max_folds, progress=progress
-        )
-        if not store.is_complete(variant_keys):
-            return ProtocolRun(stats=stats, status=store.status(), report=None)
-        protocol = pipeline.assemble(variants=variant_keys)
-        if "base" in protocol.results:
-            # Figures/tables called outside the protocol now consume the
-            # checkpointed pipeline output instead of recomputing CV.
-            seed_crossval_cache(data, protocol.base)
-        report = render_report(data, protocol, only=artifacts)
-        return ProtocolRun(stats=stats, status=store.status(), report=report)
-
-    # ---------------------------------------------------------- model lifecycle
-    def fit(
-        self,
-        training: TrainingSet | None = None,
-        *,
-        scale: str | Scale | None = None,
-        progress: Callable[[str], None] | None = None,
-        k: int = DEFAULT_K,
-        beta: float = DEFAULT_BETA,
-        quantile: float = DEFAULT_QUANTILE,
-        feature_mode: str = "both",
-    ) -> OptimisationPredictor:
-        """Fit the paper's model, remembering it and its data fingerprint."""
-        if training is None:
-            training = self.dataset(scale, progress=progress).training
-        model = OptimisationPredictor(
-            space=self.flag_space,
-            k=k,
-            beta=beta,
-            quantile=quantile,
-            feature_mode=feature_mode,
-        ).fit(training)
-        self.model = model
-        self.model_fingerprint = training.fingerprint()
-        return model
-
-    def predict(
-        self,
-        program: Program | str,
-        machine: MicroArch,
-        *,
-        exclude_program: str | None = None,
-        exclude_machine: MicroArch | None = None,
-        evaluate: bool = True,
-        backend: object | None = None,
-    ) -> PredictionResult:
-        """The §3.4 deployment flow: one -O3 profile run, then predict.
-
-        With ``evaluate=True`` the predicted setting is compiled and
-        simulated too, so the result carries its speedup over -O3.
-        """
-        if self.model is None:
-            raise RuntimeError("no model: call fit() or load_model() first")
-        resolved = self.program(program)
-        active_backend = (
-            self.backend if backend is None else resolve_backend(backend)
-        )
-        o3_binary = self.compile(resolved)
-        profile = active_backend.run(o3_binary, machine)
-
-        code_features = None
-        if self.model.feature_mode == "with_code":
-            from repro.core.code_features import static_code_features
-
-            code_features = static_code_features(o3_binary)
-        setting = self.model.predict(
-            profile.counters,
-            machine,
-            exclude_program=exclude_program,
-            exclude_machine=exclude_machine,
-            code_features=code_features,
-        )
-        predicted_run = None
-        if evaluate:
-            predicted_run = active_backend.run(
-                self.compile(resolved, setting), machine
-            )
-        return PredictionResult(
-            program=resolved.name,
-            machine=machine,
-            setting=setting,
-            profile=profile,
-            predicted_run=predicted_run,
-        )
-
-    def save_model(self, path: str | Path) -> Path:
-        """Persist the fitted model plus its training fingerprint."""
-        if self.model is None:
-            raise RuntimeError("no model to save: call fit() first")
-        return save_predictor(
-            self.model,
-            path,
-            fingerprint=self.model_fingerprint,
-            metadata={"scale": self.scale.name},
-        )
-
-    def load_model(self, path: str | Path) -> OptimisationPredictor:
-        """Load a persisted model into this session."""
-        predictor, provenance = load_predictor(path, space=self.flag_space)
-        self.model = predictor
-        self.model_fingerprint = provenance["fingerprint"]
-        return predictor
-
-    # ---------------------------------------------------------------- search
-    def evaluator(
-        self,
-        program: Program | str,
-        machine: MicroArch,
-        backend: object | None = None,
-    ) -> Evaluator:
-        """A memoising runtime oracle wired to a session backend."""
-        active_backend = (
-            self.backend if backend is None else resolve_backend(backend)
-        )
-        return Evaluator(
-            program=self.program(program),
-            machine=machine,
-            compiler=self.compiler,
-            simulate=active_backend.run,
-        )
-
-    def search(
-        self,
-        request: SearchRequest | None = None,
-        **kwargs,
-    ) -> SearchOutcome:
-        """Run one iterative-compilation baseline on a pair.
-
-        Accepts a :class:`SearchRequest` or its fields as keyword
-        arguments (``program``, ``machine``, ``algorithm``, ``budget``,
-        ``seed``, ``backend``).
-        """
-        if request is None:
-            request = SearchRequest(**kwargs)
-        elif kwargs:
-            raise TypeError("pass a SearchRequest or keyword fields, not both")
-        try:
-            driver = SEARCH_ALGORITHMS[request.algorithm]
-        except KeyError:
-            raise ValueError(
-                f"unknown search algorithm {request.algorithm!r}; "
-                f"choose from {sorted(SEARCH_ALGORITHMS)}"
-            ) from None
-        evaluator = self.evaluator(
-            request.program, request.machine, backend=request.backend
-        )
-        o3_runtime = evaluator.o3_runtime()
-        result = driver(evaluator, request.budget, request.seed, self.flag_space)
-        return SearchOutcome(
-            program=evaluator.program.name,
-            machine=request.machine,
-            algorithm=request.algorithm,
-            best_setting=result.best_setting,
-            best_runtime=result.best_runtime,
-            o3_runtime=o3_runtime,
-            evaluations=result.evaluations,
-            trajectory=tuple(result.trajectory),
-        )
+    def load_model(self, *args, **kwargs):
+        """Deprecated: use :meth:`session.models.load <ModelsFacet.load>`."""
+        _warn_deprecated("load_model", "models.load")
+        return self.models.load(*args, **kwargs)

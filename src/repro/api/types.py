@@ -89,6 +89,57 @@ class PredictionResult:
 
 
 @dataclass(frozen=True)
+class RankedSetting:
+    """One entry of a ranked prediction: a setting and its model probability."""
+
+    rank: int
+    setting: FlagSetting
+    probability: float
+
+    def payload(self) -> dict:
+        """JSON-ready form.
+
+        The setting ships uncanonicalised — exactly the mode
+        :meth:`ModelsFacet.predict` deploys — so rank 1 of a ``/predict``
+        response equals the flat prediction index-for-index.
+        """
+        return {
+            "rank": self.rank,
+            "indices": list(self.setting.as_indices()),
+            "flags": dict(self.setting),
+            "probability": self.probability,
+        }
+
+
+@dataclass(frozen=True)
+class RankedPrediction:
+    """The prediction service's answer: the top-N settings for one query.
+
+    ``settings[0]`` is always the distribution's mode — the same setting
+    :meth:`ModelsFacet.predict` returns — and :meth:`payload` is the
+    *exact* JSON body ``POST /predict`` serves (the service and the
+    in-process facet share this object, so they agree bit-for-bit).
+    """
+
+    program: str | None
+    machine: MicroArch
+    settings: tuple[RankedSetting, ...]
+
+    @property
+    def best(self) -> FlagSetting:
+        return self.settings[0].setting
+
+    def payload(self) -> dict:
+        import dataclasses
+
+        return {
+            "program": self.program,
+            "machine": dataclasses.asdict(self.machine),
+            "settings": [entry.payload() for entry in self.settings],
+        }
+
+
+@dataclass(frozen=True)
 class SearchRequest:
     """One iterative-compilation run on a (program, machine) pair.
 

@@ -1,4 +1,4 @@
-"""Command-line entry point: reproduce any table or figure.
+"""Command-line entry point: reproduce any table or figure, or serve it.
 
 Examples::
 
@@ -16,24 +16,33 @@ Examples::
     repro-experiments report --scale quick --resume      # continue after a kill
     repro-experiments report --only fig6,headline        # a subset, fewer folds
 
-All experiments go through one :class:`repro.api.Session`, which owns the
-dataset caches and fans the expensive dataset build out over ``--jobs``
-workers.  Datasets are built through the sharded, resumable store of
-:mod:`repro.store`: ``run`` checkpoints every completed (program,
-machine-chunk) shard, ``status`` reports progress, and an interrupted
-build continues with ``--resume`` instead of starting over.
+    repro-experiments train --scale quick                # fit + register + promote
+    repro-experiments models                             # registry inventory
+    repro-experiments models --promote 2                 # flip the served model
+    repro-experiments models --rollback                  # undo the last promote
+    repro-experiments serve --port 8181                  # the prediction service
+
+All experiments go through one :class:`repro.api.Session`; its facets own
+the dataset store (``session.data``), the model lifecycle and registry
+(``session.models``), evaluation (``session.eval``), and the resumable
+paper protocol (``session.protocol``).  ``serve`` exposes the registry's
+promoted model over HTTP — ``POST /predict``, ``POST /evaluate``,
+``GET /healthz``, ``GET /metrics``, and background protocol jobs whose
+fold completions stream live from ``GET /jobs/<id>/events``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
-from repro.api import Session
+from repro.api import ModelRegistry, RegistryError, Session, registry_root
 from repro.evalrun import resolve_artifacts, variants_for_artifacts
 from repro.experiments.dataset import adopt_legacy_cache, store_root
+from repro.store import StoreError
 from repro.experiments import (
     beta_sweep,
     feature_mode_sweep,
@@ -77,6 +86,9 @@ EXPERIMENTS = {
     "ablate-iid": (True, iid_vs_joint, "IID factorisation vs joint voting"),
 }
 
+#: Standalone subcommands (cannot be combined with experiment names).
+COMMANDS = ("run", "status", "list", "report", "train", "models", "serve")
+
 
 def list_experiments() -> str:
     """Render the ``list`` subcommand's experiment catalogue."""
@@ -97,6 +109,13 @@ def list_experiments() -> str:
         "paper artifact: repro-experiments report [--resume] [--max-folds N] "
         "[--only fig5,table2,...] [--out DIR]"
     )
+    lines.append(
+        "model registry: repro-experiments train | models "
+        "[--promote N | --rollback]"
+    )
+    lines.append(
+        "prediction service: repro-experiments serve [--host H] [--port P]"
+    )
     return "\n".join(lines)
 
 
@@ -113,7 +132,7 @@ def _run_store(args, parser) -> int:
     # One store object for the whole command: the grid (machines plus
     # settings) is sampled once and shard sidecars are only re-scanned
     # where the answer can have changed.
-    store = session.experiment_store()
+    store = session.data.store()
     adopted = adopt_legacy_cache(session.scale, store, args.cache_dir)
     if adopted and not args.quiet:
         print(f"adopted {adopted} shards from the legacy single-file cache")
@@ -131,7 +150,7 @@ def _run_store(args, parser) -> int:
         )
     progress = None if args.quiet else lambda message: print(f"  .. {message}")
     started = time.time()
-    done = session.build_dataset(
+    done = session.data.build(
         max_shards=args.max_shards, progress=progress, store=store
     )
     final = store.status()
@@ -153,7 +172,7 @@ def _run_store(args, parser) -> int:
 
 def _report(args, parser) -> int:
     """The ``report`` subcommand: run the resumable paper protocol and
-    render the complete artifact as markdown + JSON."""
+    render the complete artifact as markdown + JSON + SVG."""
     if args.max_folds is not None and args.max_folds < 1:
         parser.error("--max-folds must be >= 1")
     session = Session(
@@ -163,8 +182,8 @@ def _report(args, parser) -> int:
         cache_dir=args.cache_dir,
     )
     progress = None if args.quiet else lambda message: print(f"  .. {message}")
-    data = session.dataset(progress=progress)
-    store = session.protocol_store(data)
+    data = session.data.dataset(progress=progress)
+    store = session.protocol.store(data)
     # The resume gate judges completeness against the folds *this*
     # selection needs: a finished `--only` run re-renders freely, while
     # a partially computed selection demands an explicit --resume.
@@ -181,11 +200,15 @@ def _report(args, parser) -> int:
             "pass --resume to continue the interrupted protocol run"
         )
     started = time.time()
-    outcome = session.run_protocol(
+    # The SVG headline figure needs the base variant's folds; a --only
+    # selection without them still renders markdown + JSON.
+    formats = ("md", "json", "svg") if "base" in requested else ("md", "json")
+    outcome = session.protocol.run(
         only=args.only,
         max_folds=args.max_folds,
         progress=progress,
         store=store,
+        formats=formats,
     )
     stats = outcome.stats
     print(
@@ -218,16 +241,26 @@ def _report(args, parser) -> int:
     json_path = out_dir / f"report-{session.scale.name}.json"
     markdown_path.write_text(report.markdown)
     json_path.write_text(report.json_text())
+    written = [markdown_path, json_path]
+    if report.svg is not None:
+        svg_path = out_dir / f"report-{session.scale.name}.svg"
+        svg_path.write_text(report.svg)
+        written.append(svg_path)
     print(
         f"rendered {len(report.artifacts)} artifacts "
         f"(report fingerprint {report.fingerprint})"
     )
-    print(f"wrote {markdown_path} and {json_path}")
+    print(f"wrote {', '.join(str(path) for path in written)}")
     return 0
 
 
 def _store_status(args) -> int:
-    """The ``status`` subcommand: report a scale's shard completion."""
+    """The ``status`` subcommand: report a scale's shard completion.
+
+    Never tracebacks: a missing store gets the friendly "no store yet"
+    hint and an unusable one (foreign format, corrupt manifest) a
+    diagnosis, both with exit code 0 — status is a read-only question.
+    """
     session = Session(args.scale, cache_dir=args.cache_dir)
     root = store_root(session.scale, args.cache_dir)
     if not root.exists():
@@ -236,8 +269,92 @@ def _store_status(args) -> int:
             f"start one with: repro-experiments run --scale {session.scale.name}"
         )
         return 0
-    print(session.dataset_status().render())
+    try:
+        print(session.data.status().render())
+    except (StoreError, OSError, json.JSONDecodeError) as error:
+        print(
+            f"store at {root} is not usable: {error}\n"
+            f"delete the directory and rebuild with: "
+            f"repro-experiments run --scale {session.scale.name}"
+        )
     return 0
+
+
+def _train(args, parser) -> int:
+    """The ``train`` subcommand: fit on a scale and register the model."""
+    session = Session(
+        args.scale,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
+    progress = None if args.quiet else lambda message: print(f"  .. {message}")
+    started = time.time()
+    session.models.fit(progress=progress)
+    registry = _registry(args)
+    entry = session.models.register(
+        registry=registry, promote=not args.no_promote
+    )
+    print(
+        f"fitted on scale {session.scale.name!r} in {time.time() - started:.1f}s "
+        f"(training fingerprint {session.models.fingerprint})"
+    )
+    verb = "registered and promoted" if not args.no_promote else "registered"
+    print(f"{verb} model v{entry.version:04d} (digest {entry.digest}) "
+          f"in {registry.root}")
+    return 0
+
+
+def _registry(args) -> ModelRegistry:
+    root = args.registry if args.registry is not None else registry_root(args.cache_dir)
+    return ModelRegistry(root)
+
+
+def _models(args, parser) -> int:
+    """The ``models`` subcommand: registry inventory, promote, rollback."""
+    registry = _registry(args)
+    try:
+        if args.promote is not None:
+            entry = registry.promote(args.promote)
+            print(f"promoted model v{entry.version:04d} (digest {entry.digest})")
+        elif args.rollback:
+            entry = registry.rollback()
+            print(
+                f"rolled back: v{entry.version:04d} (digest {entry.digest}) "
+                "is promoted again"
+            )
+        print(registry.render())
+    except RegistryError as error:
+        print(f"registry error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve(args, parser) -> int:
+    """The ``serve`` subcommand: the HTTP prediction service."""
+    from repro.service import PredictionService, serve
+
+    session = Session(
+        args.scale,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
+    service = PredictionService(session, registry=_registry(args))
+    model = service.model_info()
+    if model is None:
+        print(
+            "warning: no promoted model yet — /predict will answer 503 "
+            "until one is trained (repro-experiments train) or promoted",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"serving model v{model['version']:04d} "
+            f"(digest {model['digest']}) from {service.registry.root}"
+        )
+    log = None if args.quiet else lambda message: print(f"  .. {message}")
+    return serve(service, host=args.host, port=args.port, log=log)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -250,8 +367,9 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         help=(
             f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', 'list', "
-            "the dataset-store commands 'run' and 'status', or 'report' "
-            "for the full resumable paper artifact"
+            "the dataset-store commands 'run' and 'status', 'report' for "
+            "the full resumable paper artifact, or the deployment commands "
+            "'train', 'models', and 'serve'"
         ),
     )
     parser.add_argument(
@@ -304,7 +422,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="with 'report': directory for report-<scale>.md/.json (default: .)",
+        help="with 'report': directory for report-<scale>.md/.json/.svg (default: .)",
+    )
+    parser.add_argument(
+        "--registry",
+        default=None,
+        help=(
+            "with 'train'/'models'/'serve': model registry directory "
+            "(default: <cache-dir>/registry)"
+        ),
+    )
+    parser.add_argument(
+        "--no-promote",
+        action="store_true",
+        help="with 'train': register the model without promoting it",
+    )
+    parser.add_argument(
+        "--promote",
+        type=int,
+        default=None,
+        help="with 'models': promote a registered version for serving",
+    )
+    parser.add_argument(
+        "--rollback",
+        action="store_true",
+        help="with 'models': re-promote the previously promoted version",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="with 'serve': bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8181,
+        help="with 'serve': TCP port, 0 for an ephemeral one (default: 8181)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
@@ -314,7 +467,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiments == ["list"]:
         print(list_experiments())
         return 0
-    commands = {"run", "status", "list", "report"} & set(args.experiments)
+    commands = set(COMMANDS) & set(args.experiments)
     if commands and len(args.experiments) > 1:
         parser.error(
             f"{sorted(commands)} are standalone commands and cannot be "
@@ -328,12 +481,34 @@ def main(argv: list[str] | None = None) -> int:
         args.max_folds is not None or args.only is not None or args.out is not None
     ):
         parser.error("--max-folds/--only/--out only apply to the 'report' command")
+    if args.experiments != ["models"] and (
+        args.promote is not None or args.rollback
+    ):
+        parser.error("--promote/--rollback only apply to the 'models' command")
+    if args.experiments != ["train"] and args.no_promote:
+        parser.error("--no-promote only applies to the 'train' command")
+    if args.experiments not in (["train"], ["models"], ["serve"]) and (
+        args.registry is not None
+    ):
+        parser.error(
+            "--registry only applies to the 'train', 'models', and 'serve' commands"
+        )
+    if args.experiments != ["serve"] and (
+        args.host != "127.0.0.1" or args.port != 8181
+    ):
+        parser.error("--host/--port only apply to the 'serve' command")
     if args.experiments == ["run"]:
         return _run_store(args, parser)
     if args.experiments == ["status"]:
         return _store_status(args)
     if args.experiments == ["report"]:
         return _report(args, parser)
+    if args.experiments == ["train"]:
+        return _train(args, parser)
+    if args.experiments == ["models"]:
+        return _models(args, parser)
+    if args.experiments == ["serve"]:
+        return _serve(args, parser)
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -357,7 +532,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"building dataset [{scale.name}]: {len(scale.programs)} programs x "
                 f"{scale.n_machines} machines x {scale.n_settings} settings"
             )
-        data = session.dataset(progress=progress)
+        data = session.data.dataset(progress=progress)
         if not args.quiet:
             print(f"dataset ready in {time.time() - started:.1f}s\n")
 

@@ -72,6 +72,55 @@ class IIDDistribution:
     def prob(self, setting: FlagSetting) -> float:
         return math.exp(self.log_prob(setting))
 
+    def top_settings(self, count: int) -> list[tuple[FlagSetting, float]]:
+        """The ``count`` most probable settings with their probabilities.
+
+        Best-first enumeration over the factorised space: each dimension's
+        values are ranked by probability, the all-argmax combination is
+        the mode, and every popped combination spawns one child per
+        dimension by stepping that dimension to its next-ranked value.
+        Fully deterministic — ties break on the per-dimension probability
+        ranks, themselves tied to the lower value index — so the ranking
+        (the prediction service's contract) is reproducible bit-for-bit.
+        """
+        import heapq
+
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        # Per-dimension value indices, most probable first; ties break to
+        # the lower value index, matching mode().
+        orders = [
+            sorted(range(len(probs)), key=lambda j: (-float(probs[j]), j))
+            for probs in self.theta
+        ]
+
+        def indices_of(ranks: tuple[int, ...]) -> tuple[int, ...]:
+            return tuple(order[rank] for order, rank in zip(orders, ranks))
+
+        def probability(ranks: tuple[int, ...]) -> float:
+            product = 1.0
+            for probs, index in zip(self.theta, indices_of(ranks)):
+                product *= float(probs[index])
+            return product
+
+        start = tuple(0 for _ in orders)
+        heap = [(-probability(start), start)]
+        seen = {start}
+        ranked: list[tuple[FlagSetting, float]] = []
+        while heap and len(ranked) < count:
+            negative, ranks = heapq.heappop(heap)
+            ranked.append(
+                (FlagSetting.from_indices(indices_of(ranks)), -negative)
+            )
+            for dim, rank in enumerate(ranks):
+                if rank + 1 >= len(orders[dim]):
+                    continue
+                child = ranks[:dim] + (rank + 1,) + ranks[dim + 1 :]
+                if child not in seen:
+                    seen.add(child)
+                    heapq.heappush(heap, (-probability(child), child))
+        return ranked
+
     def log_prob(self, setting: FlagSetting) -> float:
         total = 0.0
         for dim_probs, index in zip(self.theta, setting.as_indices()):

@@ -199,12 +199,18 @@ class EvaluationPipeline:
         variants: Sequence[str] | None = None,
         max_folds: int | None = None,
         progress: Callable[[str], None] | None = None,
+        on_fold: Callable[[FoldKey, int, int], None] | None = None,
     ) -> PipelineRunStats:
         """Compute up to ``max_folds`` pending folds of the requested variants.
 
         Each fold is checkpointed to the store as it completes, so the
         call can be killed or capped anywhere and re-entered later;
         folds already checkpointed are skipped without any simulation.
+
+        ``on_fold(key, completed, total)`` fires right after each fold's
+        checkpoint lands (``completed`` counts previously checkpointed
+        folds too) — the structured sibling of the free-text ``progress``
+        hook, which the prediction service turns into live NDJSON events.
         """
         requested = list(self.store.fold_keys(variants))
         pending = [key for key in requested if not self.store.has_fold(key)]
@@ -247,6 +253,8 @@ class EvaluationPipeline:
             stats.folds_computed += 1
             stats.simulation_calls += sims
             stats.store_hits += hits
+            if on_fold is not None:
+                on_fold(pending[index], skipped + done, total)
             if progress is not None:
                 progress(
                     f"fold {pending[index].stem()} done "

@@ -232,9 +232,20 @@ def variants_for_artifacts(names: Sequence[str], with_code: bool = True) -> list
     ]
 
 
+#: Renderable report formats; ``svg`` is the headline figure and needs
+#: the protocol's ``base`` variant folds.
+REPORT_FORMATS = ("md", "json", "svg")
+
+
 @dataclass
 class ProtocolReport:
-    """The rendered paper artifact: markdown + JSON, fingerprinted."""
+    """The rendered paper artifact: markdown + JSON (+ optional SVG).
+
+    ``svg`` is populated when ``render_report`` was asked for the
+    ``"svg"`` format; it is a sibling artifact with its own fingerprint
+    and never enters :attr:`fingerprint`, so the golden markdown/JSON
+    pins are unaffected by figure-file rendering.
+    """
 
     scale: str
     artifacts: list[str]
@@ -242,6 +253,7 @@ class ProtocolReport:
     payload: dict
     artifact_fingerprints: dict[str, str] = field(default_factory=dict)
     protocol: ProtocolResult | None = None
+    svg: str | None = None
 
     def json_text(self) -> str:
         """Deterministic JSON serialisation of the payload."""
@@ -255,6 +267,13 @@ class ProtocolReport:
         digest.update(self.json_text().encode())
         return digest.hexdigest()[:16]
 
+    @property
+    def svg_fingerprint(self) -> str | None:
+        """Digest of the rendered SVG figure (``None`` when not rendered)."""
+        if self.svg is None:
+            return None
+        return _render_fingerprint(self.svg)
+
 
 def _render_fingerprint(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:16]
@@ -264,13 +283,24 @@ def render_report(
     data,
     protocol: ProtocolResult,
     only: str | Sequence[str] | None = None,
+    formats: Sequence[str] = ("md", "json"),
 ) -> ProtocolReport:
     """Render the requested artifacts from checkpointed protocol output.
 
     ``protocol`` must hold every variant the selection needs (the
     pipeline's ``variants_for_artifacts`` set); artifacts that need no
     folds render from the training matrix alone.
+
+    ``formats`` selects the output representations: markdown and JSON
+    are always built (the report fingerprint is defined over them);
+    adding ``"svg"`` renders the headline speedup figure, which needs
+    the ``base`` variant's folds.
     """
+    unknown = [name for name in formats if name not in REPORT_FORMATS]
+    if unknown:
+        raise ValueError(
+            f"unknown report formats {unknown}; choose from {REPORT_FORMATS}"
+        )
     names = resolve_artifacts(only)
     available = set(protocol.results)
     scale = data.scale
@@ -344,6 +374,12 @@ def render_report(
         ),
         "artifacts": payload_artifacts,
     }
+    svg = None
+    if "svg" in formats:
+        from repro.evalrun.svg import headline_svg
+
+        svg = headline_svg(data, protocol)
+
     return ProtocolReport(
         scale=scale.name,
         artifacts=names,
@@ -351,4 +387,5 @@ def render_report(
         payload=payload,
         artifact_fingerprints=fingerprints,
         protocol=protocol,
+        svg=svg,
     )

@@ -1,0 +1,187 @@
+"""A dependency-free SVG renderer for the headline speedup figure.
+
+Renders the report's headline artifact — per-program model vs best mean
+speedup over -O3 (the data behind Figure 6) — as a paired-deviation bar
+chart: bars grow away from the 1.0x (-O3) baseline, so a model slowdown
+reads as a leftward bar instead of a truncated-axis illusion.
+
+The output is a pure function of the protocol result: no timestamps, no
+environment, floats formatted with fixed precision — so the SVG from a
+killed-and-resumed protocol run is byte-identical to a single-shot one
+and its fingerprint can be pinned by tests.
+
+Colors are a validated two-slot categorical pair (blue for the model,
+orange for the Best upper bound) on a light surface; series identity is
+carried by the legend and direct value labels, never by color alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Validated palette (light surface): series colors pass CVD-separation,
+# normal-vision, and 3:1 contrast checks against SURFACE.
+SURFACE = "#fcfcfb"
+MODEL_COLOR = "#2a78d6"
+BEST_COLOR = "#eb6834"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3de"
+BASELINE = "#a3a29b"
+
+_MARGIN_LEFT = 118
+_MARGIN_RIGHT = 64
+_MARGIN_TOP = 84
+_MARGIN_BOTTOM = 40
+_PLOT_WIDTH = 520
+_BAR_HEIGHT = 10
+_BAR_GAP = 2  # surface gap between the paired bars
+_ROW_HEIGHT = 2 * _BAR_HEIGHT + _BAR_GAP + 12
+
+
+@dataclass(frozen=True)
+class _Row:
+    label: str
+    model: float
+    best: float
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (deterministic output)."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def _axis_bounds(rows: list[_Row]) -> tuple[float, float]:
+    """Tick-aligned bounds covering every bar and the 1.0 baseline."""
+    values = [1.0]
+    for row in rows:
+        values.extend((row.model, row.best))
+    step = 0.25
+    low = math.floor(min(values) / step) * step
+    high = math.ceil(max(values) / step) * step
+    if high - 1.0 < step:
+        high = 1.0 + step
+    if 1.0 - low < 0.0:
+        low = 1.0
+    return low, high
+
+
+def headline_svg(data, protocol) -> str:
+    """The headline figure as a standalone SVG document (a ``str``).
+
+    ``protocol`` must hold the ``base`` variant's folds (the same
+    requirement as the markdown headline artifact).
+    """
+    import numpy as np
+
+    if "base" not in protocol.results:
+        raise ValueError(
+            "the SVG headline figure needs the protocol's 'base' variant folds"
+        )
+    base = protocol.results["base"]
+    by_program = base.by_program()
+    rows = [
+        _Row(
+            label=name,
+            model=float(np.mean([o.speedup for o in by_program[name]])),
+            best=float(np.mean([o.best_speedup for o in by_program[name]])),
+        )
+        for name in data.training.program_names
+    ]
+    rows.append(
+        _Row(label="AVERAGE", model=base.mean_speedup(), best=base.mean_best_speedup())
+    )
+
+    low, high = _axis_bounds(rows)
+    span = high - low
+    height = _MARGIN_TOP + len(rows) * _ROW_HEIGHT + _MARGIN_BOTTOM
+    width = _MARGIN_LEFT + _PLOT_WIDTH + _MARGIN_RIGHT
+
+    def x_of(value: float) -> float:
+        return _MARGIN_LEFT + (value - low) / span * _PLOT_WIDTH
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="system-ui, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="{_MARGIN_LEFT}" y="28" font-size="15" font-weight="600" '
+        f'fill="{TEXT_PRIMARY}">Speedup over -O3: model prediction vs Best '
+        "(iterative upper bound)</text>",
+        f'<text x="{_MARGIN_LEFT}" y="46" font-size="11" '
+        f'fill="{TEXT_SECONDARY}">mean over the machine space; '
+        f"model {base.mean_speedup():.3f}x vs best {base.mean_best_speedup():.3f}x "
+        f"({base.fraction_of_best():.1%} of the iterative gain, "
+        f"correlation {base.correlation_with_best():.3f})</text>",
+    ]
+
+    # Legend: swatch + label per series (identity never color-alone — the
+    # per-bar value labels restate which bar is which by position).
+    legend_y = 58
+    parts.append(
+        f'<rect x="{_MARGIN_LEFT}" y="{legend_y}" width="10" height="10" '
+        f'rx="2" fill="{MODEL_COLOR}"/>'
+        f'<text x="{_MARGIN_LEFT + 14}" y="{legend_y + 9}" font-size="11" '
+        f'fill="{TEXT_SECONDARY}">model (one profiling run)</text>'
+    )
+    legend_x2 = _MARGIN_LEFT + 190
+    parts.append(
+        f'<rect x="{legend_x2}" y="{legend_y}" width="10" height="10" '
+        f'rx="2" fill="{BEST_COLOR}"/>'
+        f'<text x="{legend_x2 + 14}" y="{legend_y + 9}" font-size="11" '
+        f'fill="{TEXT_SECONDARY}">Best (iterative search)</text>'
+    )
+
+    # Gridlines + tick labels every 0.25x.
+    plot_top = _MARGIN_TOP - 6
+    plot_bottom = _MARGIN_TOP + len(rows) * _ROW_HEIGHT
+    tick = low
+    while tick <= high + 1e-9:
+        x = x_of(tick)
+        is_baseline = abs(tick - 1.0) < 1e-9
+        color = BASELINE if is_baseline else GRID
+        stroke_width = 1.5 if is_baseline else 1
+        parts.append(
+            f'<line x1="{_fmt(x)}" y1="{plot_top}" x2="{_fmt(x)}" '
+            f'y2="{plot_bottom}" stroke="{color}" stroke-width="{stroke_width}"/>'
+        )
+        label = f"{tick:.2f}x" + (" (-O3)" if is_baseline else "")
+        parts.append(
+            f'<text x="{_fmt(x)}" y="{plot_bottom + 16}" font-size="10" '
+            f'text-anchor="middle" fill="{TEXT_SECONDARY}">{label}</text>'
+        )
+        tick += 0.25
+
+    # Paired deviation bars, one row per program.
+    x_base = x_of(1.0)
+    for index, row in enumerate(rows):
+        y = _MARGIN_TOP + index * _ROW_HEIGHT
+        weight = "600" if row.label == "AVERAGE" else "400"
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + _BAR_HEIGHT + 4}" '
+            f'font-size="11" text-anchor="end" font-weight="{weight}" '
+            f'fill="{TEXT_PRIMARY}">{row.label}</text>'
+        )
+        for offset, (value, color) in enumerate(
+            ((row.model, MODEL_COLOR), (row.best, BEST_COLOR))
+        ):
+            bar_y = y + offset * (_BAR_HEIGHT + _BAR_GAP)
+            x_value = x_of(value)
+            x0, x1 = sorted((x_base, x_value))
+            bar_width = max(x1 - x0, 0.5)
+            parts.append(
+                f'<rect x="{_fmt(x0)}" y="{bar_y}" width="{_fmt(bar_width)}" '
+                f'height="{_BAR_HEIGHT}" rx="2" fill="{color}"/>'
+            )
+            anchor = "start" if x_value >= x_base else "end"
+            label_x = x_value + 4 if x_value >= x_base else x_value - 4
+            parts.append(
+                f'<text x="{_fmt(label_x)}" y="{bar_y + _BAR_HEIGHT - 1}" '
+                f'font-size="10" text-anchor="{anchor}" '
+                f'fill="{TEXT_SECONDARY}">{value:.3f}</text>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,30 @@
+"""repro.service — the deployable prediction service.
+
+The paper's end product as a long-running process: a
+:class:`PredictionService` wraps one :class:`~repro.api.Session` plus the
+:class:`~repro.api.ModelRegistry` it serves from, and
+:func:`make_server`/:func:`serve` put a stdlib-only HTTP front end on it
+(``repro-experiments serve``).  See :mod:`repro.service.server` for the
+route table and :mod:`repro.service.jobs` for the background
+protocol-job queue behind ``/jobs``.
+"""
+
+from repro.service.jobs import Job, JobManager
+from repro.service.server import make_server, serve
+from repro.service.service import (
+    PredictionService,
+    ServiceError,
+    ServiceMetrics,
+    canonical_json,
+)
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "PredictionService",
+    "ServiceError",
+    "ServiceMetrics",
+    "canonical_json",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,156 @@
+"""The background protocol-job queue behind ``/jobs``.
+
+A :class:`JobManager` owns one daemon worker thread draining a FIFO of
+protocol runs.  Each :class:`Job` accumulates an append-only event log —
+``started``, one ``fold`` per checkpointed fold, then a terminal
+``complete``/``failed`` — under a condition variable, so any number of
+late-joining readers replay the full history and then block for live
+events: exactly the contract ``GET /jobs/<id>/events`` streams as NDJSON.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Iterator
+
+#: Event types that end a job's stream.
+TERMINAL_EVENTS = ("complete", "failed")
+
+
+class Job:
+    """One queued protocol run and its append-only event log."""
+
+    def __init__(self, job_id: str, params: dict):
+        self.id = job_id
+        self.params = dict(params)
+        self.state = "queued"
+        self._events: list[dict] = []
+        self._condition = threading.Condition()
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def emit(self, event: dict) -> None:
+        """Append one event and wake every waiting reader."""
+        with self._condition:
+            self._events.append(dict(event))
+            self._condition.notify_all()
+
+    def snapshot(self) -> dict:
+        """The job's current state for ``GET /jobs/<id>``."""
+        with self._condition:
+            events = len(self._events)
+            last = self._events[-1] if self._events else None
+        return {
+            "id": self.id,
+            "state": self.state,
+            "params": self.params,
+            "events": events,
+            "last_event": last,
+        }
+
+    def events(self, timeout: float | None = None) -> Iterator[dict]:
+        """Replay every event so far, then block for new ones.
+
+        The iterator ends after a terminal event; with ``timeout`` it
+        also ends (mid-stream) if no new event arrives in time, so a
+        disconnected-but-running job never wedges its reader forever.
+        """
+        index = 0
+        while True:
+            with self._condition:
+                while index >= len(self._events):
+                    if not self._condition.wait(timeout=timeout):
+                        return
+                event = self._events[index]
+            index += 1
+            yield event
+            if event.get("event") in TERMINAL_EVENTS:
+                return
+
+
+class JobManager:
+    """A FIFO of background jobs processed by one daemon worker thread.
+
+    Jobs run strictly one at a time — concurrent protocol runs over the
+    same session would contend for the same stores for no speedup (the
+    pipeline itself parallelises over folds).
+    """
+
+    #: Finished jobs kept for late snapshot/replay readers; older ones
+    #: are pruned so a long-running server's memory stays bounded.
+    KEEP_FINISHED = 32
+
+    def __init__(self, runner: Callable[[Job], dict]):
+        self._runner = runner
+        self._jobs: dict[str, Job] = {}
+        self._queue: "queue.Queue[Job]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._worker: threading.Thread | None = None
+
+    def _ensure_worker_locked(self) -> None:
+        """Start the drain thread if needed; caller holds ``self._lock``
+        (an unlocked check-then-start could spawn two workers and run
+        two protocol jobs concurrently)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._drain, name="repro-job-worker", daemon=True
+            )
+            self._worker.start()
+
+    def _prune_locked(self) -> None:
+        """Drop the oldest finished jobs beyond the retention cap."""
+        finished = [job_id for job_id, job in self._jobs.items() if job.done]
+        for job_id in finished[: max(len(finished) - self.KEEP_FINISHED, 0)]:
+            del self._jobs[job_id]
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            job.state = "running"
+            job.emit({"event": "started", "job": job.id})
+            try:
+                # The runner returns the terminal event's extra payload;
+                # state flips before the event lands so a reader that
+                # sees the terminal line also sees the final state.
+                outcome = self._runner(job)
+            except Exception as error:  # noqa: BLE001 - surfaced to the client
+                job.state = "failed"
+                job.emit(
+                    {"event": "failed", "job": job.id, "error": str(error)}
+                )
+            else:
+                job.state = "done"
+                job.emit({"event": "complete", "job": job.id, **(outcome or {})})
+
+    def submit(self, params: dict) -> Job:
+        """Enqueue one job; returns immediately with its handle."""
+        with self._lock:
+            self._counter += 1
+            job = Job(f"job-{self._counter:04d}", params)
+            self._prune_locked()
+            self._jobs[job.id] = job
+            self._ensure_worker_locked()
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> list[dict]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [job.snapshot() for job in jobs]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state, for ``/healthz``."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts: dict[str, int] = {}
+        for job in jobs:
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts

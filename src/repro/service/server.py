@@ -1,0 +1,197 @@
+"""The stdlib-only HTTP front end over :class:`PredictionService`.
+
+Routes::
+
+    GET  /healthz              service + promoted-model status
+    GET  /metrics              request counts and latency percentiles
+    POST /predict              features or program-spec -> ranked settings
+    POST /evaluate             compile-and-simulate one triple
+    POST /jobs                 queue a background protocol run
+    GET  /jobs                 list jobs
+    GET  /jobs/<id>            one job's snapshot
+    GET  /jobs/<id>/events     NDJSON stream of fold-completion events
+
+JSON bodies are served as :func:`~repro.service.service.canonical_json`
+bytes, so a ``/predict`` response is byte-identical to the in-process
+facet payload.  The events route streams one JSON object per line,
+flushed as each fold checkpoints, and ends after the job's terminal
+``complete``/``failed`` event.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.service.service import PredictionService, ServiceError, canonical_json
+
+#: Largest accepted request body; predict/evaluate payloads are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/events)?$")
+
+
+def _make_handler(
+    service: PredictionService, log: Callable[[str], None] | None
+) -> type:
+    class ServiceHandler(BaseHTTPRequestHandler):
+        # HTTP/1.0 keeps the events route simple: no chunked framing,
+        # the stream just ends when the connection closes.
+        protocol_version = "HTTP/1.0"
+
+        # ------------------------------------------------------------ plumbing
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            if log is not None:
+                log(f"{self.address_string()} {format % args}")
+
+        def _send_json(self, payload: dict, status: int = 200) -> None:
+            body = canonical_json(payload).encode()
+            self._response_started = True
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if length > MAX_BODY_BYTES:
+                raise ServiceError("request body too large", status=413)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise ServiceError(f"bad JSON body: {error}")
+            if not isinstance(payload, dict):
+                raise ServiceError("request body must be a JSON object")
+            return payload
+
+        def _timed(self, endpoint: str, respond: Callable[[], None]) -> None:
+            started = time.perf_counter()
+            self._response_started = False
+            error = False
+            try:
+                respond()
+            except ServiceError as exc:
+                error = True
+                if not self._response_started:
+                    self._send_json({"error": str(exc)}, status=exc.status)
+            except (BrokenPipeError, ConnectionResetError):
+                error = True  # client went away mid-stream; nothing to send
+            except Exception as exc:  # noqa: BLE001 - the service must not die
+                error = True
+                # Only answer if the response has not started: splicing a
+                # second status line into a stream already under way would
+                # corrupt it (and raise again from inside this handler).
+                if not self._response_started:
+                    self._send_json(
+                        {"error": f"internal error: {exc}"}, status=500
+                    )
+            finally:
+                service.metrics.observe(
+                    endpoint, time.perf_counter() - started, error=error
+                )
+
+        # ------------------------------------------------------------- routes
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            path = self.path.split("?", 1)[0]
+            if path == "/healthz":
+                self._timed("/healthz", lambda: self._send_json(service.health()))
+            elif path == "/metrics":
+                self._timed(
+                    "/metrics",
+                    lambda: self._send_json(service.metrics.snapshot()),
+                )
+            elif path == "/jobs":
+                self._timed(
+                    "/jobs", lambda: self._send_json({"jobs": service.jobs.list()})
+                )
+            elif (match := _JOB_PATH.match(path)) is not None:
+                job_id, events = match.group(1), match.group(2)
+                if events:
+                    self._timed(
+                        "/jobs/<id>/events", lambda: self._stream_events(job_id)
+                    )
+                else:
+                    self._timed(
+                        "/jobs/<id>",
+                        lambda: self._send_json(service.job_snapshot(job_id)),
+                    )
+            else:
+                self._send_json({"error": f"no route {path!r}"}, status=404)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            path = self.path.split("?", 1)[0]
+            routes = {
+                "/predict": service.predict,
+                "/evaluate": service.evaluate,
+                "/jobs": service.submit_job,
+            }
+            handler = routes.get(path)
+            if handler is None:
+                self._send_json({"error": f"no route {path!r}"}, status=404)
+                return
+
+            def respond():
+                payload = self._read_body()
+                status = 202 if path == "/jobs" else 200
+                self._send_json(handler(payload), status=status)
+
+            self._timed(path, respond)
+
+        def _stream_events(self, job_id: str) -> None:
+            events = service.job_events(job_id)  # raises 404 before headers
+            self._response_started = True
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Cache-Control", "no-store")
+            self.end_headers()
+            for event in events:
+                self.wfile.write(canonical_json(event).encode() + b"\n")
+                self.wfile.flush()
+
+    return ServiceHandler
+
+
+def make_server(
+    service: PredictionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    log: Callable[[str], None] | None = None,
+) -> ThreadingHTTPServer:
+    """Bind (but do not run) the service's HTTP server.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``server.server_address``.  Call ``serve_forever()`` to run, from
+    this thread or a daemon thread (the server is threading, so a
+    streaming ``/jobs/<id>/events`` reader never blocks ``/predict``).
+    """
+    handler = _make_handler(service, log)
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    service: PredictionService,
+    host: str = "127.0.0.1",
+    port: int = 8181,
+    log: Callable[[str], None] | None = None,
+) -> int:
+    """Run the HTTP server until interrupted (the CLI ``serve`` command)."""
+    server = make_server(service, host, port, log=log)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving predictions on http://{bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0

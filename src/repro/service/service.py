@@ -1,0 +1,373 @@
+"""The prediction service: the paper's deployable end product.
+
+A :class:`PredictionService` fronts one :class:`~repro.api.Session` and
+one :class:`~repro.api.ModelRegistry`: train once per microarchitecture
+space, promote the model, then answer "which flag setting for this
+program/machine?" from memory forever.  It is transport-agnostic — every
+endpoint is a plain ``dict -> dict`` method the HTTP layer (and the
+tests) call directly, serialised with :func:`canonical_json` so an HTTP
+response and the in-process facet answer are bit-identical.
+
+The served model tracks the registry's *promoted* pointer: each request
+re-reads the pointer (one tiny JSON stat) and reloads only when it
+moved, so a ``promote``/``rollback`` from another process takes effect
+on the next request without a restart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from typing import Iterator
+
+from repro.api import ModelRegistry, RegistryError, Session
+from repro.api.backends import resolve_backend
+from repro.api.facets import profile_with_model, ranked_prediction
+from repro.compiler.flags import FlagSetting
+from repro.machine.params import MicroArch
+from repro.service.jobs import Job, JobManager
+from repro.sim.counters import COUNTER_NAMES, PerfCounters
+
+#: Upper bound on ``top`` in /predict: the flag space holds ~4e14
+#: settings, so an uncapped request could enumerate effectively forever.
+MAX_TOP = 100
+
+
+def canonical_json(payload: dict) -> str:
+    """The service's one serialisation: sorted keys, no whitespace.
+
+    Floats emit their shortest round-tripping repr, so two payloads are
+    byte-identical exactly when their values are bit-identical — the
+    property the ``/predict`` contract (and its tests) rely on.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ServiceError(Exception):
+    """A client-visible failure with an HTTP status code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceMetrics:
+    """Per-endpoint request counts and latency percentiles.
+
+    Latencies are kept in a bounded per-endpoint window; percentiles are
+    computed on read (nearest-rank), so recording stays O(1) per request.
+    """
+
+    WINDOW = 1024
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._latencies: dict[str, list[float]] = {}
+        self._started = time.monotonic()
+
+    def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
+        with self._lock:
+            self._counts[endpoint] = self._counts.get(endpoint, 0) + 1
+            if error:
+                self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
+            window = self._latencies.setdefault(endpoint, [])
+            window.append(seconds)
+            if len(window) > self.WINDOW:
+                del window[: len(window) - self.WINDOW]
+
+    @staticmethod
+    def _percentile(ordered: list[float], fraction: float) -> float:
+        index = max(0, min(len(ordered) - 1, round(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = dict(self._counts)
+            errors = dict(self._errors)
+            latencies = {key: list(window) for key, window in self._latencies.items()}
+            uptime = time.monotonic() - self._started
+        endpoints = {}
+        for endpoint, count in sorted(counts.items()):
+            ordered = sorted(latencies.get(endpoint, []))
+            summary = {
+                "count": count,
+                "errors": errors.get(endpoint, 0),
+            }
+            if ordered:
+                summary["latency_ms"] = {
+                    "mean": sum(ordered) / len(ordered) * 1000.0,
+                    "p50": self._percentile(ordered, 0.50) * 1000.0,
+                    "p90": self._percentile(ordered, 0.90) * 1000.0,
+                    "p99": self._percentile(ordered, 0.99) * 1000.0,
+                    "max": ordered[-1] * 1000.0,
+                }
+            endpoints[endpoint] = summary
+        return {"uptime_seconds": uptime, "endpoints": endpoints}
+
+
+# ------------------------------------------------------------ payload codecs
+def _machine_from(payload: dict) -> MicroArch:
+    fields = payload.get("machine")
+    if not isinstance(fields, dict):
+        raise ServiceError("request needs a 'machine' object of MicroArch fields")
+    try:
+        return MicroArch(**fields)
+    except TypeError as error:
+        raise ServiceError(f"bad machine: {error}")
+
+
+def _counters_from(payload: dict) -> PerfCounters:
+    raw = payload["counters"]
+    if isinstance(raw, dict):
+        missing = [name for name in COUNTER_NAMES if name not in raw]
+        if missing:
+            raise ServiceError(f"counters missing {missing}")
+        values = [raw[name] for name in COUNTER_NAMES]
+    elif isinstance(raw, (list, tuple)):
+        values = list(raw)
+    else:
+        raise ServiceError("'counters' must be an object or an 11-value array")
+    if len(values) != len(COUNTER_NAMES):
+        raise ServiceError(
+            f"counters need exactly {len(COUNTER_NAMES)} values, got {len(values)}"
+        )
+    try:
+        return PerfCounters(*(float(value) for value in values))
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"bad counters: {error}")
+
+
+def _setting_from(payload: dict) -> FlagSetting | None:
+    raw = payload.get("setting")
+    if raw is None:
+        return None
+    try:
+        if isinstance(raw, dict) and "indices" in raw:
+            return FlagSetting.from_indices(raw["indices"])
+        if isinstance(raw, dict) and "flags" in raw:
+            return FlagSetting(raw["flags"])
+        if isinstance(raw, (list, tuple)):
+            return FlagSetting.from_indices(raw)
+    except (TypeError, ValueError, KeyError) as error:
+        raise ServiceError(f"bad setting: {error}")
+    raise ServiceError(
+        "'setting' must be an index array, {'indices': [...]}, or {'flags': {...}}"
+    )
+
+
+class PredictionService:
+    """Registry-backed prediction, evaluation, and protocol jobs."""
+
+    def __init__(self, session: Session, registry: ModelRegistry | None = None):
+        self.session = session
+        self.registry = (
+            registry if registry is not None else session.models.registry()
+        )
+        self.metrics = ServiceMetrics()
+        self.jobs = JobManager(self._run_job)
+        self._model_lock = threading.Lock()
+        #: Loaded (predictor, provenance) per registry version.  Versions
+        #: are immutable, so entries are valid forever; only the newest
+        #: few are kept to bound memory across many promotions.
+        self._models: dict[int, tuple[object, dict]] = {}
+        self._MODEL_CACHE = 4
+
+    # -------------------------------------------------------------- the model
+    def _promoted_model(self) -> tuple[object, dict]:
+        """The promoted predictor plus its provenance, from the cache.
+
+        Re-checks the promotion pointer per request (one tiny JSON read)
+        and loads a version at most once.  The returned pair is
+        immutable, so a request keeps ranking with the model it started
+        with even if a concurrent ``promote``/``rollback`` moves the
+        pointer mid-flight.
+        """
+        try:
+            promoted = self.registry.promoted_version()
+        except RegistryError as error:
+            raise ServiceError(str(error), status=503)
+        if promoted is None:
+            raise ServiceError(
+                f"no promoted model in registry {self.registry.root}; "
+                "train one with: repro-experiments train",
+                status=503,
+            )
+        with self._model_lock:
+            cached = self._models.get(promoted)
+            if cached is None:
+                try:
+                    predictor, entry = self.registry.load(
+                        promoted, space=self.session.flag_space
+                    )
+                except RegistryError as error:
+                    raise ServiceError(str(error), status=503)
+                info = {
+                    "version": entry.version,
+                    "digest": entry.digest,
+                    "fingerprint": entry.fingerprint,
+                }
+                cached = (predictor, info)
+                self._models[promoted] = cached
+                while len(self._models) > self._MODEL_CACHE:
+                    self._models.pop(next(iter(self._models)))
+            return cached
+
+    def model_info(self) -> dict | None:
+        """Provenance of the served model (``None`` before promotion)."""
+        try:
+            _, info = self._promoted_model()
+        except ServiceError:
+            return None
+        return info
+
+    # -------------------------------------------------------------- endpoints
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "scale": self.session.scale.name,
+            "registry": str(self.registry.root),
+            "model": self.model_info(),
+            "jobs": self.jobs.counts(),
+        }
+
+    def predict(self, payload: dict) -> dict:
+        """``POST /predict``: features or program-spec in, ranked settings out.
+
+        The ranked list is exactly what ``session.models.rank(...)`` /
+        ``rank_counters(...)`` produce on the promoted model — both go
+        through :func:`~repro.api.facets.ranked_prediction`, so the
+        service serialises the same payload bit-for-bit.  The model and
+        the provenance echoed back are captured together, once, so the
+        response always names the version that actually answered.
+        """
+        model, info = self._promoted_model()
+        machine = _machine_from(payload)
+        top = payload.get("top", 5)
+        if not isinstance(top, int) or not 1 <= top <= MAX_TOP:
+            raise ServiceError(f"'top' must be an integer in [1, {MAX_TOP}]")
+        program_name = payload.get("program")
+        if "counters" in payload:
+            counters = _counters_from(payload)
+            code_features = None
+        elif program_name is not None:
+            try:
+                program = self.session.program(program_name)
+            except ValueError as error:
+                raise ServiceError(str(error), status=404)
+            try:
+                backend = (
+                    self.session.backend
+                    if payload.get("backend") is None
+                    else resolve_backend(payload["backend"])
+                )
+            except (ValueError, TypeError) as error:
+                raise ServiceError(f"bad backend: {error}")
+            profile, code_features = profile_with_model(
+                model, self.session.compile(program), machine, backend
+            )
+            counters = profile.counters
+            program_name = program.name
+        else:
+            raise ServiceError("request needs 'program' or 'counters'")
+        try:
+            ranked = ranked_prediction(
+                model,
+                counters,
+                machine,
+                top,
+                code_features=code_features,
+                program=program_name,
+            )
+        except ValueError as error:
+            raise ServiceError(str(error))
+        return {"model": info, **ranked.payload()}
+
+    def evaluate(self, payload: dict) -> dict:
+        """``POST /evaluate``: compile-and-simulate one triple."""
+        try:
+            program = self.session.program(payload.get("program", ""))
+        except ValueError as error:
+            raise ServiceError(str(error), status=404)
+        machine = _machine_from(payload)
+        setting = _setting_from(payload)
+        backend = payload.get("backend")
+        try:
+            resolve_backend(backend if backend is not None else "analytic")
+        except (KeyError, ValueError, TypeError) as error:
+            raise ServiceError(f"bad backend: {error}")
+        result = self.session.eval.evaluate(
+            program, machine, setting=setting, backend=backend
+        )
+        return {
+            "program": result.program,
+            "machine": dataclasses.asdict(result.machine),
+            "setting": list(result.setting.as_indices()),
+            "backend": result.backend,
+            "runtime_seconds": result.runtime,
+            "cycles": result.cycles,
+            "energy_nj": result.energy_nj,
+            "counters": dict(zip(COUNTER_NAMES, result.counters.vector())),
+        }
+
+    # ------------------------------------------------------------------- jobs
+    def submit_job(self, payload: dict) -> dict:
+        """``POST /jobs``: queue a (possibly capped) background protocol run."""
+        params = {
+            "scale": payload.get("scale"),
+            "only": payload.get("only"),
+            "max_folds": payload.get("max_folds"),
+        }
+        max_folds = params["max_folds"]
+        if max_folds is not None and (not isinstance(max_folds, int) or max_folds < 1):
+            raise ServiceError("'max_folds' must be a positive integer")
+        job = self.jobs.submit(params)
+        return job.snapshot()
+
+    def _run_job(self, job: Job) -> dict:
+        """Worker-thread body: one protocol run streaming fold events."""
+
+        def on_fold(key, completed, total):
+            job.emit(
+                {
+                    "event": "fold",
+                    "job": job.id,
+                    "fold": key.stem(),
+                    "variant": key.variant,
+                    "program": key.program,
+                    "completed": completed,
+                    "total": total,
+                }
+            )
+
+        outcome = self.session.protocol.run(
+            scale=job.params.get("scale"),
+            only=job.params.get("only"),
+            max_folds=job.params.get("max_folds"),
+            on_fold=on_fold,
+        )
+        result = {
+            "protocol_complete": outcome.complete,
+            "folds_computed": outcome.stats.folds_computed,
+            "folds_skipped": outcome.stats.folds_skipped,
+        }
+        if outcome.report is not None:
+            result["report_fingerprint"] = outcome.report.fingerprint
+        return result
+
+    def job_snapshot(self, job_id: str) -> dict:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"no such job {job_id!r}", status=404)
+        return job.snapshot()
+
+    def job_events(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"no such job {job_id!r}", status=404)
+        return job.events(timeout=timeout)

@@ -145,12 +145,12 @@ def tiny_data():
 def tiny_protocol(tiny_data):
     """Session-cached full TINY paper-protocol run (in-memory fold store).
 
-    One complete `Session.run_protocol` — every variant, every artifact —
+    One complete `session.protocol.run` — every variant, every artifact —
     shared by the golden-protocol pins and the report tests.
     """
     from repro.api import Session
 
     session = Session("tiny", use_disk_cache=False)
-    outcome = session.run_protocol()
+    outcome = session.protocol.run()
     assert outcome.complete
     return outcome

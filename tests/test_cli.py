@@ -91,6 +91,113 @@ class TestCli:
         assert cli.main(["status", "--scale", "tiny", "--cache-dir", str(tmp_path)]) == 0
         assert "complete" in capsys.readouterr().out
 
+    def test_status_with_corrupt_manifest_is_friendly(self, tmp_path, capsys):
+        """A broken store must diagnose, not traceback (exit 0)."""
+        from repro.experiments.config import preset
+        from repro.experiments.dataset import store_root
+
+        root = store_root(preset("tiny"), tmp_path)
+        root.mkdir(parents=True)
+        (root / "manifest.json").write_text('{"format": 99}')
+        assert cli.main(
+            ["status", "--scale", "tiny", "--cache-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "not usable" in output
+        assert "repro-experiments run" in output
+
+        (root / "manifest.json").write_text("not json at all")
+        assert cli.main(
+            ["status", "--scale", "tiny", "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert "not usable" in capsys.readouterr().out
+
+    def test_train_then_models_then_rollback(self, tiny_data, tmp_path, capsys):
+        base = ["--scale", "tiny", "--cache-dir", str(tmp_path), "--quiet"]
+        assert cli.main(["train"] + base) == 0
+        output = capsys.readouterr().out
+        assert "registered and promoted model v0001" in output
+
+        assert cli.main(["train", "--no-promote"] + base) == 0
+        assert "registered model v0002" in capsys.readouterr().out
+
+        assert cli.main(["models", "--cache-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "v0001" in output and "v0002" in output
+        assert output.count("*promoted*") == 1
+
+        assert cli.main(["models", "--promote", "2", "--cache-dir", str(tmp_path)]) == 0
+        assert "promoted model v0002" in capsys.readouterr().out
+        assert cli.main(["models", "--rollback", "--cache-dir", str(tmp_path)]) == 0
+        assert "v0001" in capsys.readouterr().out
+
+    def test_models_on_empty_registry(self, tmp_path, capsys):
+        assert cli.main(["models", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_models_promote_unknown_version_fails(self, tmp_path, capsys):
+        assert cli.main(
+            ["models", "--promote", "7", "--cache-dir", str(tmp_path)]
+        ) == 1
+        assert "registry error" in capsys.readouterr().err
+
+    def test_registry_flags_rejected_elsewhere(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["table2", "--promote", "1"])
+        with pytest.raises(SystemExit):
+            cli.main(["table2", "--rollback"])
+        with pytest.raises(SystemExit):
+            cli.main(["run", "--no-promote", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            cli.main(["table2", "--registry", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            cli.main(["table2", "--port", "9999"])
+        with pytest.raises(SystemExit):
+            cli.main(["report", "--host", "0.0.0.0"])
+
+    def test_serve_binds_and_shuts_down(self, tmp_path, capsys, monkeypatch):
+        """The serve command binds, prints its address, and exits cleanly
+        on interrupt (the loop itself is interrupted immediately)."""
+        import repro.service.server as server_module
+
+        def interrupted(self, poll_interval=0.5):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            server_module.ThreadingHTTPServer, "serve_forever", interrupted
+        )
+        assert cli.main(
+            ["serve", "--scale", "tiny", "--cache-dir", str(tmp_path),
+             "--port", "0", "--quiet"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "serving predictions on http://127.0.0.1:" in captured.out
+        assert "no promoted model" in captured.err  # empty registry warns
+
+    def test_report_writes_svg_beside_md_and_json(self, tmp_path, capsys):
+        out = tmp_path / "artifact"
+        assert cli.main(
+            ["report", "--scale", "tiny", "--only", "headline",
+             "--cache-dir", str(tmp_path / "cache"), "--out", str(out),
+             "--quiet"]
+        ) == 0
+        assert (out / "report-tiny.md").is_file()
+        assert (out / "report-tiny.json").is_file()
+        svg = (out / "report-tiny.svg").read_text()
+        assert svg.startswith("<svg xmlns=")
+        assert "report-tiny.svg" in capsys.readouterr().out
+
+    def test_report_without_base_folds_skips_svg(self, tmp_path, capsys):
+        out = tmp_path / "artifact"
+        assert cli.main(
+            ["report", "--scale", "tiny", "--only", "table2",
+             "--cache-dir", str(tmp_path / "cache"), "--out", str(out),
+             "--quiet"]
+        ) == 0
+        assert (out / "report-tiny.md").is_file()
+        assert not (out / "report-tiny.svg").exists()
+        capsys.readouterr()
+
     def test_all_includes_every_experiment_name(self):
         assert set(cli.EXPERIMENTS) >= {
             "table1",

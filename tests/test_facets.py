@@ -1,0 +1,182 @@
+"""Session API v2: facets, deprecation shims, and warning-clean examples."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro.api.session as session_module
+from repro.api import (
+    DataFacet,
+    EvalFacet,
+    EvaluationRequest,
+    ModelsFacet,
+    ProtocolFacet,
+    Session,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session("tiny", use_disk_cache=False)
+
+
+@pytest.fixture(scope="module")
+def fitted(session):
+    session.models.fit()
+    return session
+
+
+class TestFacetConstruction:
+    def test_facets_are_lazy_and_cached(self):
+        fresh = Session("tiny", use_disk_cache=False)
+        assert fresh._facets == {}
+        data = fresh.data
+        assert isinstance(data, DataFacet)
+        assert fresh.data is data  # one instance per session
+        assert isinstance(fresh.models, ModelsFacet)
+        assert isinstance(fresh.eval, EvalFacet)
+        assert isinstance(fresh.protocol, ProtocolFacet)
+        assert set(fresh._facets) == {"data", "models", "eval", "protocol"}
+
+    def test_facets_share_session_state(self, fitted):
+        # The models facet fitted the model; every surface sees it.
+        assert fitted.models.model is fitted.model
+        assert fitted.models.fingerprint == fitted.model_fingerprint
+        assert fitted.model_fingerprint is not None
+
+    def test_eval_facet_matches_flat_surface(self, session, machine):
+        via_facet = session.eval.evaluate("sha", machine)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_shim = session.evaluate("sha", machine)
+        assert via_facet == via_shim
+
+    def test_eval_batch_round_trip(self, session, machine):
+        results = session.eval.batch(
+            [EvaluationRequest("sha", machine), ("crc", machine)]
+        )
+        assert [result.program for result in results] == ["sha", "crc"]
+
+    def test_models_predict_and_rank_agree(self, fitted, machine):
+        prediction = fitted.models.predict("sha", machine, evaluate=False)
+        ranked = fitted.models.rank("sha", machine, top=3)
+        assert ranked.best == prediction.setting
+        assert [entry.rank for entry in ranked.settings] == [1, 2, 3]
+        probabilities = [entry.probability for entry in ranked.settings]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_rank_payload_is_json_ready(self, fitted, machine):
+        import json
+
+        ranked = fitted.models.rank("sha", machine, top=2)
+        payload = ranked.payload()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["settings"][0]["rank"] == 1
+        assert round_tripped["machine"]["il1_size"] == machine.il1_size
+
+    def test_protocol_facet_runs_capped(self):
+        capped = Session("tiny", use_disk_cache=False)
+        seen = []
+        outcome = capped.protocol.run(
+            only="headline",
+            max_folds=2,
+            on_fold=lambda key, done, total: seen.append((key.stem(), done, total)),
+        )
+        assert not outcome.complete
+        assert len(seen) == 2
+        assert seen[0][1] == 1 and seen[1][1] == 2
+        assert seen[0][2] == seen[1][2]  # stable total
+
+
+class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def fresh_warning_state(self, monkeypatch):
+        monkeypatch.setattr(session_module, "_DEPRECATION_WARNED", set())
+
+    def test_flat_method_warns_once_per_process(self, session, machine):
+        with pytest.warns(DeprecationWarning, match="session.eval.evaluate"):
+            session.evaluate("sha", machine)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session.evaluate("sha", machine)  # second call: silent
+
+    def test_each_shim_warns_independently(self, fitted, machine):
+        with pytest.warns(DeprecationWarning, match="models.predict"):
+            fitted.predict("sha", machine, evaluate=False)
+        with pytest.warns(DeprecationWarning, match="eval.search"):
+            fitted.search(program="sha", machine=machine, budget=3)
+
+    def test_shim_results_identical_to_facets(self, fitted, machine, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            flat_path = fitted.save_model(tmp_path / "flat.json")
+        facet_path = fitted.models.save(tmp_path / "facet.json")
+        assert flat_path.read_text() == facet_path.read_text()
+
+    def test_facet_calls_never_warn(self, fitted, machine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            fitted.eval.evaluate("sha", machine)
+            fitted.models.predict("sha", machine, evaluate=False)
+            fitted.data.status()
+
+
+#: Flat spellings that must not appear in the migrated examples.
+_DEPRECATED_SPELLINGS = tuple(
+    f".{name}("
+    for name in (
+        "evaluate_batch",
+        "run_protocol",
+        "save_model",
+        "load_model",
+        "build_dataset",
+        "dataset_status",
+        "experiment_store",
+        "protocol_store",
+        "speedup_over_o3",
+    )
+) + ("session.evaluate(", "session.fit(", "session.predict(", "session.search(",
+     "deployment.predict(", "deployment.evaluate_batch(")
+
+
+class TestExamplesOnFacets:
+    def test_examples_exist(self):
+        assert len(list(EXAMPLES_DIR.glob("*.py"))) == 4
+
+    @pytest.mark.parametrize(
+        "example", sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+    )
+    def test_example_uses_no_deprecated_spelling(self, example):
+        text = (EXAMPLES_DIR / example).read_text()
+        hits = [spelling for spelling in _DEPRECATED_SPELLINGS if spelling in text]
+        assert not hits, f"{example} still uses deprecated flat calls: {hits}"
+
+    @pytest.mark.parametrize(
+        "example", sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+    )
+    def test_example_runs_warning_clean(self, example):
+        """Every example runs end to end with DeprecationWarning as error."""
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR)
+        result = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning",
+             str(EXAMPLES_DIR / example)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert result.returncode == 0, (
+            f"{example} failed under -W error::DeprecationWarning:\n"
+            f"{result.stdout}\n{result.stderr}"
+        )

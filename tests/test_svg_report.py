@@ -1,0 +1,81 @@
+"""Tests for the SVG headline renderer and the report ``formats`` knob."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalrun import render_report
+from repro.evalrun.svg import headline_svg
+
+
+@pytest.fixture(scope="module")
+def protocol_pieces(tiny_protocol, tiny_data):
+    return tiny_data, tiny_protocol.report.protocol
+
+
+class TestHeadlineSvg:
+    def test_is_a_standalone_svg_document(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        svg = headline_svg(data, protocol)
+        assert svg.startswith("<svg xmlns=")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_mentions_every_program_and_the_average(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        svg = headline_svg(data, protocol)
+        for name in data.training.program_names:
+            assert f">{name}</text>" in svg
+        assert ">AVERAGE</text>" in svg
+        assert "(-O3)" in svg  # the 1.0x baseline is marked
+
+    def test_carries_the_headline_numbers(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        svg = headline_svg(data, protocol)
+        base = protocol.results["base"]
+        assert f"model {base.mean_speedup():.3f}x" in svg
+        assert f"best {base.mean_best_speedup():.3f}x" in svg
+
+    def test_deterministic(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        assert headline_svg(data, protocol) == headline_svg(data, protocol)
+
+    def test_requires_base_variant(self, protocol_pieces):
+        import dataclasses
+
+        data, protocol = protocol_pieces
+        without_base = dataclasses.replace(
+            protocol,
+            results={k: v for k, v in protocol.results.items() if k != "base"},
+        )
+        with pytest.raises(ValueError, match="'base' variant"):
+            headline_svg(data, without_base)
+
+
+class TestRenderReportFormats:
+    def test_default_formats_skip_svg(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        report = render_report(data, protocol, only="headline")
+        assert report.svg is None
+        assert report.svg_fingerprint is None
+
+    def test_svg_format_attaches_figure(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        report = render_report(
+            data, protocol, only="headline", formats=("md", "json", "svg")
+        )
+        assert report.svg is not None
+        assert report.svg_fingerprint is not None
+        assert report.svg == headline_svg(data, protocol)
+
+    def test_svg_does_not_shift_report_fingerprint(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        plain = render_report(data, protocol, only="headline")
+        with_svg = render_report(
+            data, protocol, only="headline", formats=("md", "json", "svg")
+        )
+        assert plain.fingerprint == with_svg.fingerprint
+
+    def test_unknown_format_rejected(self, protocol_pieces):
+        data, protocol = protocol_pieces
+        with pytest.raises(ValueError, match="unknown report formats"):
+            render_report(data, protocol, formats=("md", "pdf"))
