@@ -1,0 +1,64 @@
+"""Machine-readable benchmark artifacts (the ``BENCH_*.json`` files).
+
+The pytest-benchmark suites in this directory are for humans at a
+terminal; CI and the README's performance table need numbers that
+survive as files.  :func:`measure` times a callable the way a
+micro-benchmark should (several rounds, best round wins, warmup first)
+and :func:`emit` writes the artifact with enough context (grid shape,
+mode, python/numpy versions) to compare runs across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def measure(fn, *, rounds: int = 5, warmup: int = 1) -> dict:
+    """Best-of-``rounds`` wall time for one call of ``fn``.
+
+    Warmup rounds populate caches (compiler memos, lru_caches, numpy
+    internals) so the measured rounds see the steady state the hot path
+    actually runs in.
+    """
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return {
+        "best_seconds": min(times),
+        "mean_seconds": sum(times) / len(times),
+        "rounds": rounds,
+    }
+
+
+def throughput(timing: dict, pairs: int) -> dict:
+    """Attach pairs/sec rates to one :func:`measure` result."""
+    return {
+        **timing,
+        "pairs": pairs,
+        "pairs_per_sec": pairs / timing["best_seconds"],
+    }
+
+
+def emit(path: str | Path, payload: dict) -> Path:
+    """Write one ``BENCH_*.json`` artifact (stamped with the platform)."""
+    import numpy
+
+    path = Path(path)
+    payload = {
+        **payload,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return path

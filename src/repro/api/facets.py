@@ -73,6 +73,7 @@ from repro.search.genetic import genetic_search
 from repro.search.hillclimb import hill_climb
 from repro.search.random_search import random_search
 from repro.sim.counters import PerfCounters
+from repro.sim.vector import GridIndex
 from repro.store import ExperimentRunner, ExperimentStore, StoreStatus
 
 #: Registered iterative-compilation drivers: name -> (evaluator, budget,
@@ -250,6 +251,8 @@ class EvalFacet(_Facet):
         if strategy == "auto":
             strategy = "process" if jobs > 1 else "serial"
         if strategy != "process":
+            if self._vectorisable(items):
+                return self._batch_vectorised(items)
             # Serial and thread runs share this process's memory, so they
             # go through the session compiler and its memoisation.
             def work(item):
@@ -257,6 +260,48 @@ class EvalFacet(_Facet):
 
             return run_batch(work, items, jobs=jobs, executor=strategy)
         return run_batch(_evaluate_work, items, jobs=jobs, executor=strategy)
+
+    def _vectorisable(self, items: list[tuple]) -> bool:
+        """True when the whole batch can ride one simulate-many pass."""
+        if not self._session.vectorize or len(items) < 2:
+            return False
+        first_backend = items[0][3]
+        return hasattr(first_backend, "run_many") and all(
+            item[3] == first_backend for item in items
+        )
+
+    def _batch_vectorised(self, items: list[tuple]) -> list[EvaluationResult]:
+        """One kernel pass over the batch's (binary × machine) grid.
+
+        Compiles each distinct (program, setting) once through the
+        session compiler, prices the full grid with the backend's
+        ``run_many``, and materialises per-request results — bit-identical
+        to the per-item path, just without S×M scalar simulations.
+        """
+        compiler = self._session.compiler
+        backend = items[0][3]
+        rows, cols = GridIndex(), GridIndex()
+        coords = [
+            (
+                rows.add(
+                    (id(program), setting.canonical()),
+                    lambda: compiler.compile(program, setting),
+                ),
+                cols.add(machine, lambda: machine),
+            )
+            for program, setting, machine, _ in items
+        ]
+        results = backend.run_many(rows.values, cols.values)
+        return [
+            EvaluationResult(
+                program=program.name,
+                machine=machine,
+                setting=setting.canonical(),
+                backend=backend.name,
+                simulation=results.result(row, col),
+            )
+            for (program, setting, machine, _), (row, col) in zip(items, coords)
+        ]
 
     def speedup_over_o3(
         self,
@@ -291,6 +336,8 @@ class EvalFacet(_Facet):
             machine=machine,
             compiler=session.compiler,
             simulate=active_backend.run,
+            batch_simulate=getattr(active_backend, "run_many", None),
+            vectorize=session.vectorize,
         )
 
     def search(
@@ -418,6 +465,7 @@ class DataFacet(_Facet):
             compiler=session.compiler,
             jobs=session.jobs,
             executor=session.executor,
+            vectorize=session.vectorize,
         )
         return runner.run(max_shards=max_shards, progress=progress)
 
@@ -726,6 +774,7 @@ class ProtocolFacet(_Facet):
             jobs=session.jobs if jobs is None else jobs,
             executor=session.executor if executor is None else executor,
             compiler=session.compiler,
+            vectorize=session.vectorize,
         )
         stats = pipeline.run(
             variants=variant_keys,

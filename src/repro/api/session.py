@@ -79,6 +79,9 @@ class Session:
         cache_dir: dataset cache root, overriding ``$REPRO_CACHE_DIR``.
         use_disk_cache: disable to keep datasets in memory only.
         compiler: share a memoising compiler across sessions if desired.
+        vectorize: route whole batches through the bit-identical
+            :func:`~repro.sim.vector.simulate_many` kernel when the
+            backend supports it (default on; purely a performance knob).
     """
 
     def __init__(
@@ -93,11 +96,13 @@ class Session:
         compiler: Compiler | None = None,
         flag_space: FlagSpace = DEFAULT_SPACE,
         machine_space: MicroArchSpace | None = None,
+        vectorize: bool = True,
     ):
         self.scale = self._resolve_scale(scale if scale is not None else "quick")
         self.backend = resolve_backend(backend)
         self.jobs = resolve_jobs(jobs)
         self.executor = executor
+        self.vectorize = vectorize
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.use_disk_cache = use_disk_cache
         self.compiler = compiler if compiler is not None else Compiler()

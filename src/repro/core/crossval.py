@@ -144,21 +144,30 @@ def leave_one_out(
             if training.code_features is not None
             else None
         )
-        for m, machine in enumerate(training.machines):
-            counters = PerfCounters(*training.counters[p, m, :])
-            predicted = model.predict(
-                counters,
+        predictions = [
+            model.predict(
+                PerfCounters(*training.counters[p, m, :]),
                 machine,
                 exclude_program=name,
                 exclude_machine=machine,
                 code_features=code_features,
             )
+            for m, machine in enumerate(training.machines)
+        ]
+        # Price the whole machine row in one oracle batch: grid settings
+        # come straight from the matrix, and any out-of-grid predictions
+        # fall back through one vectorised simulate-many pass per setting
+        # instead of a scalar simulation per machine.
+        predicted_runtimes = oracle.runtime_many(
+            name, predictions, training.machines
+        )
+        for m, machine in enumerate(training.machines):
             result.outcomes.append(
                 PairOutcome(
                     program=name,
                     machine=machine,
-                    predicted=predicted,
-                    predicted_runtime=oracle.runtime(name, predicted, machine),
+                    predicted=predictions[m],
+                    predicted_runtime=predicted_runtimes[m],
                     o3_runtime=float(training.o3_runtimes[p, m]),
                     best_runtime=training.best_runtime(p, m),
                 )

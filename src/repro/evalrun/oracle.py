@@ -26,6 +26,7 @@ from repro.compiler.pipeline import Compiler
 from repro.core.training import TrainingSet
 from repro.machine.params import MicroArch
 from repro.sim.analytic import simulate_analytic
+from repro.sim.vector import BinarySignature, simulate_many
 
 
 class OracleError(RuntimeError):
@@ -42,6 +43,9 @@ class RuntimeOracle:
             (needed only for the out-of-grid compile fallback).
         compiler: memoising compiler for the fallback; a private one is
             created when omitted.
+        vectorize: price batched fallbacks through the bit-identical
+            :func:`~repro.sim.vector.simulate_many` kernel (default) or
+            one scalar simulation per pair.
 
     Thread-safe: serial and thread executors may share one instance;
     concurrent duplicate work is benign (identical deterministic values)
@@ -53,8 +57,10 @@ class RuntimeOracle:
         training: TrainingSet,
         programs: Sequence[Program] | Mapping[str, Program],
         compiler: Compiler | None = None,
+        vectorize: bool = True,
     ):
         self.training = training
+        self.vectorize = vectorize
         if isinstance(programs, Mapping):
             self._programs = dict(programs)
         else:
@@ -124,6 +130,78 @@ class RuntimeOracle:
             self.simulation_calls += 1
             self._fallback_runtimes[key] = seconds
         return seconds
+
+    def runtime_many(
+        self,
+        program: str,
+        settings: Sequence[FlagSetting],
+        machines: Sequence[MicroArch],
+    ) -> list[float]:
+        """Seconds for ``(program, settings[i], machines[i])`` triples.
+
+        The batched form of :meth:`runtime`: in-grid settings still read
+        straight from the training matrix, but all out-of-grid fallback
+        pairs of one setting are compiled once and priced in a single
+        :func:`~repro.sim.vector.simulate_many` pass instead of one
+        scalar simulation per machine.  Results, memoisation keys, and
+        the ``store_hits``/``simulation_calls`` counters are exactly
+        what the equivalent sequence of :meth:`runtime` calls produces
+        (the vector kernel is bit-identical to the scalar model).
+        """
+        if len(settings) != len(machines):
+            raise ValueError("settings and machines must pair up")
+        p = self.program_index(program)
+        machine_indices = [self.machine_index(machine) for machine in machines]
+        canonicals = [setting.canonical() for setting in settings]
+
+        answers: list[float | None] = [None] * len(settings)
+        #: canonical -> [(position, machine index)] still needing a fallback.
+        pending: dict[FlagSetting, list[tuple[int, int]]] = {}
+        store_hits = 0
+        for position, (canonical, m) in enumerate(zip(canonicals, machine_indices)):
+            s = self._setting_index.get(canonical)
+            if s is not None:
+                store_hits += 1
+                answers[position] = float(self.training.runtimes[p, s, m])
+                continue
+            cached = self._fallback_runtimes.get((program, canonical, m))
+            if cached is not None:
+                answers[position] = cached
+            else:
+                pending.setdefault(canonical, []).append((position, m))
+        if store_hits:
+            with self._lock:
+                self.store_hits += store_hits
+
+        for canonical, places in pending.items():
+            binary = self._compile_checked(program, canonical)
+            # A setting may pair with the same machine twice; simulate
+            # each distinct machine once, exactly like memoised
+            # per-triple calls would.
+            distinct = sorted({m for _, m in places})
+            if self.vectorize:
+                results = simulate_many(
+                    [BinarySignature.from_binary(binary)],
+                    [self.training.machines[m] for m in distinct],
+                )
+                seconds_by_machine = {
+                    m: float(results.seconds[0, i])
+                    for i, m in enumerate(distinct)
+                }
+            else:
+                seconds_by_machine = {
+                    m: simulate_analytic(
+                        binary, self.training.machines[m]
+                    ).seconds
+                    for m in distinct
+                }
+            with self._lock:
+                self.simulation_calls += len(distinct)
+                for m, seconds in seconds_by_machine.items():
+                    self._fallback_runtimes[(program, canonical, m)] = seconds
+            for position, m in places:
+                answers[position] = seconds_by_machine[m]
+        return answers
 
     # ------------------------------------------------------------ fallback
     def _compile_checked(self, program: str, canonical: FlagSetting):

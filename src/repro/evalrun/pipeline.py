@@ -125,10 +125,11 @@ def _init_protocol_worker(
     training: TrainingSet,
     programs: list[Program],
     variants: list[VariantSpec],
+    vectorize: bool = True,
 ) -> None:
     _WORKER_STATE.clear()
     _WORKER_STATE["training"] = training
-    _WORKER_STATE["oracle"] = RuntimeOracle(training, programs)
+    _WORKER_STATE["oracle"] = RuntimeOracle(training, programs, vectorize=vectorize)
     _WORKER_STATE["variants"] = {variant.key: variant for variant in variants}
     _WORKER_STATE["predictors"] = {}
 
@@ -165,6 +166,8 @@ class EvaluationPipeline:
         executor: ``auto``, ``serial``, ``thread``, or ``process``.
         compiler: memoising compiler shared by serial/thread fallback
             compilations; process workers build their own.
+        vectorize: batched oracle fallbacks ride the bit-identical
+            vector kernel (default) or the scalar reference.
     """
 
     def __init__(
@@ -175,6 +178,7 @@ class EvaluationPipeline:
         jobs: int | None = 1,
         executor: str = "auto",
         compiler=None,
+        vectorize: bool = True,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -188,7 +192,10 @@ class EvaluationPipeline:
         self.store = store
         self.jobs = resolve_jobs(jobs)
         self.executor = executor
-        self.oracle = RuntimeOracle(training, self.programs, compiler=compiler)
+        self.vectorize = vectorize
+        self.oracle = RuntimeOracle(
+            training, self.programs, compiler=compiler, vectorize=vectorize
+        )
         self._variants = {variant.key: variant for variant in store.variants}
         self._predictors: dict[str, object] = {}
         self._fit_lock = threading.Lock()
@@ -231,7 +238,12 @@ class EvaluationPipeline:
             function = _compute_fold_task
             items = [(key.variant, key.program) for key in pending]
             initializer = _init_protocol_worker
-            initargs = (self.training, self.programs, self.store.variants)
+            initargs = (
+                self.training,
+                self.programs,
+                self.store.variants,
+                self.vectorize,
+            )
         else:
             function = self._compute_fold_local
             items = list(pending)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.machine.params import MicroArch
 
@@ -39,6 +40,7 @@ def access_time_ns(size_bytes: int, assoc: int, block_bytes: int) -> float:
     return 0.80 + size_term + assoc_term + block_term
 
 
+@lru_cache(maxsize=None)
 def read_energy_nj(size_bytes: int, assoc: int, block_bytes: int) -> float:
     """Per-read energy: dominated by bitline swing × ways read in parallel."""
     base = 0.05 * (size_bytes / 4096.0) ** 0.5
@@ -47,12 +49,21 @@ def read_energy_nj(size_bytes: int, assoc: int, block_bytes: int) -> float:
     return base + way_factor + block_factor
 
 
+@lru_cache(maxsize=None)
 def cache_timing(
     size_bytes: int,
     assoc: int,
     block_bytes: int,
     frequency_mhz: int,
 ) -> CacheTiming:
+    """Timing/energy of one configuration, memoised for the whole process.
+
+    The argument tuple ranges over the Table 2 grid × the frequency grid
+    (a few thousand combinations at most), so an unbounded cache is
+    bounded in practice — and :func:`simulate_analytic` calls this twice
+    per simulation, making the lookup a measurable share of the scalar
+    hot path.
+    """
     cycle_ns = 1000.0 / frequency_mhz
     access = access_time_ns(size_bytes, assoc, block_bytes)
     hit_cycles = max(1, math.ceil(access / cycle_ns))
@@ -66,12 +77,14 @@ def cache_timing(
     )
 
 
+@lru_cache(maxsize=4096)
 def icache_timing(machine: MicroArch) -> CacheTiming:
     return cache_timing(
         machine.il1_size, machine.il1_assoc, machine.il1_block, machine.frequency_mhz
     )
 
 
+@lru_cache(maxsize=4096)
 def dcache_timing(machine: MicroArch) -> CacheTiming:
     return cache_timing(
         machine.dl1_size, machine.dl1_assoc, machine.dl1_block, machine.frequency_mhz

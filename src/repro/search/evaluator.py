@@ -18,6 +18,7 @@ from repro.compiler.ir import Program
 from repro.compiler.pipeline import Compiler
 from repro.machine.params import MicroArch
 from repro.sim.analytic import SimulationResult, simulate_analytic
+from repro.sim.vector import simulate_grid
 
 
 @dataclass
@@ -27,12 +28,18 @@ class Evaluator:
     ``simulate`` makes the timing tier pluggable: it defaults to the fast
     analytic model, and :class:`repro.api.Session` injects a simulator
     backend's ``run`` here so searches can target the trace tier too.
+    ``batch_simulate`` is the matching explicit batch entry point (a
+    backend's ``run_many``); it is never inferred from ``simulate``, so
+    injected wrappers and mocks are always honoured.  ``vectorize=False``
+    pins :meth:`evaluate_many` to the sequential scalar reference.
     """
 
     program: Program
     machine: MicroArch
     compiler: Compiler = field(default_factory=Compiler)
     simulate: Callable[[CompiledBinary, MicroArch], SimulationResult] | None = None
+    batch_simulate: Callable | None = None
+    vectorize: bool = True
 
     def __post_init__(self) -> None:
         self._cache: dict[FlagSetting, float] = {}
@@ -49,6 +56,48 @@ class Evaluator:
         self._cache[canonical] = runtime
         self.evaluations += 1
         return runtime
+
+    def evaluate_many(self, settings: Sequence[FlagSetting]) -> list[float]:
+        """Runtimes of many settings, batched through the vector kernel.
+
+        Compiles each uncached setting (first-seen order) and prices all
+        the binaries against this evaluator's machine in one
+        :func:`~repro.sim.vector.simulate_many` pass — bit-identical to
+        sequential :meth:`evaluate` calls, including the memo and the
+        ``evaluations`` count.  Falls back to the sequential path when a
+        custom scalar ``simulate`` is injected without a matching
+        ``batch_simulate``, or when ``vectorize`` is off.
+        """
+        canonicals = [setting.canonical() for setting in settings]
+        run_many = self._run_many()
+        if run_many is None:
+            return [self.evaluate(canonical) for canonical in canonicals]
+        fresh: list[FlagSetting] = []
+        seen: set[FlagSetting] = set()
+        for canonical in canonicals:
+            if canonical not in self._cache and canonical not in seen:
+                seen.add(canonical)
+                fresh.append(canonical)
+        if fresh:
+            binaries = [
+                self.compiler.compile(self.program, canonical)
+                for canonical in fresh
+            ]
+            results = run_many(binaries, [self.machine])
+            for s, canonical in enumerate(fresh):
+                self._cache[canonical] = float(results.seconds[s, 0])
+                self.evaluations += 1
+        return [self._cache[canonical] for canonical in canonicals]
+
+    def _run_many(self):
+        """The batch simulation entry point, if this tier has one."""
+        if not self.vectorize:
+            return None
+        if self.batch_simulate is not None:
+            return self.batch_simulate
+        if self.simulate is None:
+            return simulate_grid
+        return None
 
     def o3_runtime(self) -> float:
         return self.evaluate(o3_setting())

@@ -21,11 +21,15 @@ def random_search(
     if budget < 1:
         raise ValueError(f"budget must be >= 1: {budget}")
     settings = space.sample_many(budget, seed)
+    # The sample is fixed up front (nothing adaptive), so the whole
+    # budget prices as one compile-per-setting + vectorised simulate-many
+    # batch; folding the running best afterwards preserves the exact
+    # trajectory a sequential loop would record.
+    runtimes = evaluator.evaluate_many(settings)
     best_setting = settings[0]
     best_runtime = float("inf")
     trajectory: list[float] = []
-    for setting in settings:
-        runtime = evaluator.evaluate(setting)
+    for setting, runtime in zip(settings, runtimes):
         if runtime < best_runtime:
             best_runtime = runtime
             best_setting = setting

@@ -34,6 +34,9 @@ from repro.sim.counters import COUNTER_NAMES, PerfCounters
 #: settings, so an uncapped request could enumerate effectively forever.
 MAX_TOP = 100
 
+#: Upper bound on ``items`` in a batched /predict request.
+MAX_BATCH_ITEMS = 256
+
 
 def canonical_json(payload: dict) -> str:
     """The service's one serialisation: sorted keys, no whitespace.
@@ -243,7 +246,16 @@ class PredictionService:
         service serialises the same payload bit-for-bit.  The model and
         the provenance echoed back are captured together, once, so the
         response always names the version that actually answered.
+
+        A payload with an ``items`` array is a batch: each element is a
+        single-predict payload, answered in order and returned under
+        ``results``, with program-spec profiling routed through the
+        vectorised simulate-many kernel (one pass over the batch's
+        binary × machine grid).  Per-item payloads are byte-identical to
+        what ``len(items)`` single requests would return.
         """
+        if "items" in payload:
+            return self._predict_batch(payload)
         model, info = self._promoted_model()
         machine = _machine_from(payload)
         top = payload.get("top", 5)
@@ -285,6 +297,128 @@ class PredictionService:
         except ValueError as error:
             raise ServiceError(str(error))
         return {"model": info, **ranked.payload()}
+
+    # ------------------------------------------------------------ batch predict
+    def _predict_batch(self, payload: dict) -> dict:
+        """The ``items`` form of ``/predict``: many queries, one pass.
+
+        Counter items rank directly; program-spec items are profiled in
+        bulk — each distinct program compiled once, the whole
+        (binary × machine) grid priced by the backend's ``run_many``
+        (the vectorised kernel for the analytic tier).  Item order is
+        preserved and each element of ``results`` matches the
+        corresponding single-request payload bit-for-bit.
+        """
+        model, info = self._promoted_model()
+        items = payload["items"]
+        if not isinstance(items, list) or not items:
+            raise ServiceError("'items' must be a non-empty array of predict payloads")
+        if len(items) > MAX_BATCH_ITEMS:
+            raise ServiceError(
+                f"batch too large: {len(items)} items (max {MAX_BATCH_ITEMS})"
+            )
+        default_top = payload.get("top", 5)
+
+        parsed: list[dict] = []
+        profile_groups: dict[object, list[int]] = {}
+        for index, item in enumerate(items):
+            try:
+                if not isinstance(item, dict):
+                    raise ServiceError("must be an object")
+                machine = _machine_from(item)
+                top = item.get("top", default_top)
+                if not isinstance(top, int) or not 1 <= top <= MAX_TOP:
+                    raise ServiceError(f"'top' must be an integer in [1, {MAX_TOP}]")
+                entry = {"machine": machine, "top": top, "program": None,
+                         "counters": None, "code_features": None}
+                program_name = item.get("program")
+                if "counters" in item:
+                    entry["counters"] = _counters_from(item)
+                    entry["program"] = program_name
+                elif program_name is not None:
+                    try:
+                        entry["binary"] = self.session.compile(
+                            self.session.program(program_name)
+                        )
+                    except ValueError as error:
+                        raise ServiceError(str(error), status=404)
+                    entry["program"] = entry["binary"].program_name
+                    try:
+                        backend = (
+                            self.session.backend
+                            if item.get("backend") is None
+                            else resolve_backend(item["backend"])
+                        )
+                    except (ValueError, TypeError) as error:
+                        raise ServiceError(f"bad backend: {error}")
+                    entry["backend"] = backend
+                    profile_groups.setdefault(backend, []).append(index)
+                else:
+                    raise ServiceError("needs 'program' or 'counters'")
+                parsed.append(entry)
+            except ServiceError as error:
+                raise ServiceError(f"items[{index}]: {error}", status=error.status)
+
+        for backend, indices in profile_groups.items():
+            self._profile_group(model, backend, [parsed[i] for i in indices])
+
+        results = []
+        for index, entry in enumerate(parsed):
+            try:
+                ranked = ranked_prediction(
+                    model,
+                    entry["counters"],
+                    entry["machine"],
+                    entry["top"],
+                    code_features=entry["code_features"],
+                    program=entry["program"],
+                )
+            except ValueError as error:
+                raise ServiceError(f"items[{index}]: {error}")
+            results.append(ranked.payload())
+        return {"model": info, "results": results}
+
+    def _profile_group(self, model, backend, entries: list[dict]) -> None:
+        """Fill ``counters``/``code_features`` for one backend's entries.
+
+        Batch-capable backends price the deduplicated binary × machine
+        grid in one ``run_many`` call; others (or a session with
+        ``vectorize=False``) fall back to the scalar per-item profile.
+        Both produce the exact counters a single ``/predict`` computes.
+        """
+        run_many = (
+            getattr(backend, "run_many", None)
+            if self.session.vectorize
+            else None
+        )
+        if run_many is None:
+            for entry in entries:
+                profile, code_features = profile_with_model(
+                    model, entry["binary"], entry["machine"], backend
+                )
+                entry["counters"] = profile.counters
+                entry["code_features"] = code_features
+            return
+
+        from repro.sim.vector import GridIndex
+
+        rows, cols = GridIndex(), GridIndex()
+        coords = [
+            (
+                rows.add(id(entry["binary"]), lambda: entry["binary"]),
+                cols.add(entry["machine"], lambda: entry["machine"]),
+            )
+            for entry in entries
+        ]
+        grid = run_many(rows.values, cols.values)
+        features = [None] * len(rows.values)
+        if model.feature_mode == "with_code":
+            from repro.core.code_features import static_code_features
+
+            features = [static_code_features(binary) for binary in rows.values]
+        for entry, (row, col) in zip(entries, coords):
+            entry["counters"] = PerfCounters(*grid.counters[row, col, :])
+            entry["code_features"] = features[row]
 
     def evaluate(self, payload: dict) -> dict:
         """``POST /evaluate``: compile-and-simulate one triple."""

@@ -13,23 +13,35 @@ from repro.sim.cache import CacheStats, SetAssociativeCache
 from repro.sim.counters import COUNTER_NAMES, PerfCounters
 from repro.sim.executor import observable_outputs, simulate
 from repro.sim.trace import TraceResult, simulate_trace
+from repro.sim.vector import (
+    BinarySignature,
+    MachineMatrix,
+    VectorResults,
+    simulate_grid,
+    simulate_many,
+)
 
 __all__ = [
     "BimodalPredictor",
+    "BinarySignature",
     "BranchTargetBuffer",
     "BranchUnit",
     "COUNTER_NAMES",
     "CacheStats",
     "CycleBreakdown",
+    "MachineMatrix",
     "PerfCounters",
     "SetAssociativeCache",
     "SimulationResult",
     "TraceResult",
+    "VectorResults",
     "access_dcache_misses",
     "effective_capacity",
     "loop_icache_misses",
     "observable_outputs",
     "simulate",
     "simulate_analytic",
+    "simulate_grid",
+    "simulate_many",
     "simulate_trace",
 ]

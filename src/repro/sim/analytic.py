@@ -64,6 +64,12 @@ CALL_OVERHEAD_CYCLES = 1.0
 #: Branch misprediction pipeline refill depth at the baseline clock.
 MISPREDICT_PENALTY = 4.0
 
+#: DRAM traffic energy per cache miss (either cache), nJ.
+MEMORY_ENERGY_PER_MISS = 5.0
+
+#: Core (non-array) dynamic energy per committed instruction, nJ.
+CORE_ENERGY_PER_INSN = 0.15
+
 
 @dataclass
 class CycleBreakdown:
@@ -348,10 +354,8 @@ def _energy(
     dc_energy = read_energy_nj(
         machine.dl1_size, machine.dl1_assoc, machine.dl1_block
     )
-    memory_energy_per_miss = 5.0
-    core_energy_per_insn = 0.15
     return (
-        binary.dyn_insns * (ic_energy + core_energy_per_insn)
+        binary.dyn_insns * (ic_energy + CORE_ENERGY_PER_INSN)
         + binary.dyn_memory * dc_energy
-        + (ic_misses + dc_misses) * memory_energy_per_miss
+        + (ic_misses + dc_misses) * MEMORY_ENERGY_PER_MISS
     )

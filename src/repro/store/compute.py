@@ -27,6 +27,7 @@ from repro.compiler.pipeline import Compiler
 from repro.machine.params import MicroArch
 from repro.sim.analytic import simulate_analytic
 from repro.sim.counters import COUNTER_NAMES
+from repro.sim.vector import BinarySignature, MachineMatrix, simulate_many
 
 #: The arrays produced for one (program, machine-chunk) shard:
 #: ``runtimes[s, m]``, ``o3_runtimes[m]``, ``counters[m, k]``, and the
@@ -39,6 +40,7 @@ def compute_shard(
     machines: Sequence[MicroArch],
     settings: Sequence[FlagSetting],
     compiler: Compiler | None = None,
+    vectorize: bool = True,
 ) -> ShardArrays:
     """One program's training slice over a chunk of machines.
 
@@ -48,17 +50,37 @@ def compute_shard(
     any partition of the machine axis into chunks — computed in any
     order, by any executor — concatenates back to exactly what a single
     monolithic call would produce.
+
+    ``vectorize`` selects the :func:`repro.sim.vector.simulate_many`
+    kernel: one numpy pass over the whole (binary × machine) grid
+    instead of S×M scalar simulations.  The two paths are bit-identical
+    (the vector kernel's contract), so the flag is purely a performance
+    knob; ``False`` keeps the scalar reference loop.
     """
     from repro.core.code_features import static_code_features
 
     active_compiler = compiler if compiler is not None else Compiler()
     S, M = len(settings), len(machines)
-    runtimes = np.empty((S, M), dtype=float)
-    o3_runtimes = np.empty(M, dtype=float)
-    counters = np.empty((M, len(COUNTER_NAMES)), dtype=float)
 
     o3_binary = active_compiler.compile(program, o3_setting())
     code_features = np.asarray(static_code_features(o3_binary), dtype=float)
+
+    if vectorize:
+        binaries = [o3_binary] + [
+            active_compiler.compile(program, setting) for setting in settings
+        ]
+        results = simulate_many(
+            [BinarySignature.from_binary(binary) for binary in binaries],
+            MachineMatrix.from_machines(machines),
+        )
+        o3_runtimes = results.seconds[0, :].copy()
+        counters = results.counters[0, :, :].copy()
+        runtimes = results.seconds[1:, :].copy()
+        return runtimes, o3_runtimes, counters, code_features
+
+    runtimes = np.empty((S, M), dtype=float)
+    o3_runtimes = np.empty(M, dtype=float)
+    counters = np.empty((M, len(COUNTER_NAMES)), dtype=float)
     for m, machine in enumerate(machines):
         result = simulate_analytic(o3_binary, machine)
         o3_runtimes[m] = result.seconds
@@ -88,9 +110,11 @@ def compute_shard_task(
     The caller's compiler cannot cross the process boundary, so each
     worker keeps its own memoised compiler — results are identical to
     serial ones (compilation is deterministic) even for non-default
-    compilers.
+    compilers.  A sixth ``vectorize`` slot is optional (older callers
+    ship five-tuples) and defaults to the kernel path.
     """
-    program, machines, settings, space, cache = work
+    program, machines, settings, space, cache = work[:5]
+    vectorize = work[5] if len(work) > 5 else True
     key = (space.specs, cache)
     if _WORKER_STATE.get("key") != key:
         _WORKER_STATE["key"] = key
@@ -99,4 +123,10 @@ def compute_shard_task(
     elif _WORKER_STATE.get("program") != program.name:
         _WORKER_STATE["compiler"].clear_cache()
         _WORKER_STATE["program"] = program.name
-    return compute_shard(program, machines, settings, _WORKER_STATE["compiler"])
+    return compute_shard(
+        program,
+        machines,
+        settings,
+        _WORKER_STATE["compiler"],
+        vectorize=vectorize,
+    )

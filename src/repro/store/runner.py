@@ -44,6 +44,9 @@ class ExperimentRunner:
             every compiled binary); process workers rebuild their own.
         jobs: worker count (1 = serial, negative = all cores).
         executor: ``auto``, ``serial``, ``thread``, or ``process``.
+        vectorize: route each shard's simulations through the
+            bit-identical :func:`repro.sim.vector.simulate_many` kernel
+            (default) or the scalar reference loop.
     """
 
     def __init__(
@@ -53,6 +56,7 @@ class ExperimentRunner:
         compiler: Compiler | None = None,
         jobs: int | None = 1,
         executor: str = "auto",
+        vectorize: bool = True,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -62,6 +66,7 @@ class ExperimentRunner:
         self.compiler = compiler if compiler is not None else Compiler()
         self.jobs = resolve_jobs(jobs)
         self.executor = executor
+        self.vectorize = vectorize
         if programs is None:
             from repro.programs.mibench import mibench_program
 
@@ -143,6 +148,7 @@ class ExperimentRunner:
                 settings,
                 self.compiler.space,
                 self.compiler.cache_enabled,
+                self.vectorize,
             )
         return (program, machines, settings)
 
@@ -167,6 +173,9 @@ class ExperimentRunner:
                 if state["program"] not in (None, program.name):
                     self.compiler.clear_cache()
                 state["program"] = program.name
-            return compute_shard(program, machines, settings, self.compiler)
+            return compute_shard(
+                program, machines, settings, self.compiler,
+                vectorize=self.vectorize,
+            )
 
         return work

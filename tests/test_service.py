@@ -279,3 +279,94 @@ class TestHttpLayer:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(base_url + "/jobs/job-9999/events")
         assert excinfo.value.code == 404
+
+
+class TestBatchPredict:
+    """The ``items`` form of /predict: many queries, one vectorised pass."""
+
+    def test_batch_items_match_single_requests_bit_for_bit(self, service):
+        machines = [
+            dataclasses.asdict(m)
+            for m in Session("tiny", use_disk_cache=False).machines(2, seed=77)
+        ]
+        items = [
+            {"program": "sha", "machine": machines[0], "top": 3},
+            {"program": "crc", "machine": machines[1], "top": 2},
+            {"program": "sha", "machine": machines[1], "top": 3},
+        ]
+        batch = service.predict({"items": items})
+        singles = [service.predict(item) for item in items]
+        assert len(batch["results"]) == len(items)
+        for got, single in zip(batch["results"], singles):
+            want = {key: value for key, value in single.items() if key != "model"}
+            assert canonical_json(got) == canonical_json(want)
+        assert batch["model"] == singles[0]["model"]
+
+    def test_batch_mixes_counters_and_program_items(self, service, deployment):
+        machine = xscale()
+        profile = deployment.eval.evaluate("sha", machine)
+        items = [
+            {
+                "counters": dict(zip(COUNTER_NAMES, profile.counters.vector())),
+                "machine": dataclasses.asdict(machine),
+                "top": 3,
+                "program": "sha",
+            },
+            {"program": "sha", "machine": dataclasses.asdict(machine), "top": 3},
+        ]
+        batch = service.predict({"items": items})
+        assert batch["results"][0]["settings"] == batch["results"][1]["settings"]
+        assert batch["results"][0]["program"] == "sha"
+
+    def test_batch_default_top_and_per_item_override(self, service):
+        machine = dataclasses.asdict(xscale())
+        batch = service.predict(
+            {
+                "top": 2,
+                "items": [
+                    {"program": "sha", "machine": machine},
+                    {"program": "sha", "machine": machine, "top": 4},
+                ],
+            }
+        )
+        assert len(batch["results"][0]["settings"]) == 2
+        assert len(batch["results"][1]["settings"]) == 4
+
+    def test_batch_item_errors_name_the_item(self, service):
+        machine = dataclasses.asdict(xscale())
+        with pytest.raises(ServiceError, match=r"items\[1\]"):
+            service.predict(
+                {
+                    "items": [
+                        {"program": "sha", "machine": machine},
+                        {"machine": machine},
+                    ]
+                }
+            )
+        with pytest.raises(ServiceError, match=r"items\[0\].*unknown program") as exc:
+            service.predict({"items": [{"program": "nope", "machine": machine}]})
+        assert exc.value.status == 404
+
+    def test_batch_rejects_bad_shapes(self, service):
+        with pytest.raises(ServiceError, match="non-empty array"):
+            service.predict({"items": []})
+        with pytest.raises(ServiceError, match="non-empty array"):
+            service.predict({"items": "sha"})
+        from repro.service.service import MAX_BATCH_ITEMS
+
+        machine = dataclasses.asdict(xscale())
+        too_many = [{"program": "sha", "machine": machine}] * (MAX_BATCH_ITEMS + 1)
+        with pytest.raises(ServiceError, match="batch too large"):
+            service.predict({"items": too_many})
+
+    def test_batch_over_http_matches_in_process(self, base_url, service):
+        machine = dataclasses.asdict(xscale())
+        payload = {
+            "items": [
+                {"program": "sha", "machine": machine, "top": 2},
+                {"program": "crc", "machine": machine, "top": 2},
+            ]
+        }
+        status, body = _post(base_url + "/predict", payload)
+        assert status == 200
+        assert body == canonical_json(service.predict(payload))
