@@ -1,0 +1,101 @@
+"""The autotuning tournament as a benchmark: §5.3 search economics.
+
+Times one full strategy tournament on the tiny scale and records the
+leaderboard (mean simulations-to-match per strategy) alongside the
+wall-clock — the artifact that catches both a performance regression in
+the batched scorer and a *quality* regression in the model-guided
+strategies.
+
+Two modes:
+
+* ``pytest benchmarks/bench_search.py --benchmark-only`` — the
+  interactive pytest-benchmark suite;
+* ``PYTHONPATH=src python benchmarks/bench_search.py [--smoke]
+  [--out BENCH_search.json]`` — emits the machine-readable artifact
+  that CI uploads; ``--smoke`` additionally enforces the gate that
+  model-seeded search matches best-known in strictly fewer simulations
+  than uniform random.
+"""
+
+from repro.api import Session
+from repro.autotune.tournament import check_model_beats_random
+
+#: The gate grid, shared with ``repro-experiments tournament --smoke``
+#: (see ``repro.cli.SMOKE_TOURNAMENT``): kept in lock-step by
+#: ``tests/test_cli.py``.
+SMOKE_GRID = {
+    "programs": ["sha", "crc"],
+    "machines": 2,
+    "budget": 40,
+    "seeds": tuple(range(15)),
+    "tolerance": 0.01,
+}
+
+
+def _run_tournament(session=None, **overrides):
+    session = session if session is not None else Session("tiny")
+    grid = {**SMOKE_GRID, **overrides}
+    return session.eval.tournament(
+        programs=grid["programs"],
+        machines=grid["machines"],
+        budget=grid["budget"],
+        seeds=grid["seeds"],
+        tolerance=grid["tolerance"],
+    )
+
+
+def test_tournament_smoke_grid(benchmark):
+    """One full tournament on the gate grid (model fit amortised)."""
+    session = Session("tiny")
+    session.models.fit()
+    result = benchmark.pedantic(
+        _run_tournament, kwargs={"session": session}, rounds=1, iterations=1
+    )
+    ok, message = check_model_beats_random(result)
+    assert ok, message
+
+
+# --------------------------------------------------------------- artifact
+def emit_artifact(out: str, smoke: bool) -> dict:
+    """Run the tournament and write ``BENCH_search.json``."""
+    import time
+
+    from perfjson import emit
+
+    started = time.time()
+    result = _run_tournament()
+    elapsed = time.time() - started
+    ok, message = check_model_beats_random(result)
+    payload = {
+        "benchmark": "search",
+        "smoke": smoke,
+        "scale": "tiny",
+        "budget": result.budget,
+        "tolerance": result.tolerance,
+        "programs": list(result.programs),
+        "machines": list(result.machines),
+        "seeds": len(result.seeds),
+        "runs": len(result.runs),
+        "wall_seconds": elapsed,
+        "runs_per_sec": len(result.runs) / elapsed,
+        "gate": message,
+        "standings": [standing.payload() for standing in result.standings],
+    }
+    emit(out, payload)
+    if smoke and not ok:
+        raise SystemExit(f"smoke gate failed: {message}")
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_search.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fail unless model-seeded search out-economises random",
+    )
+    arguments = parser.parse_args()
+    emit_artifact(arguments.out, arguments.smoke)

@@ -22,6 +22,9 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.api.backends import SimulatorBackend, resolve_backend
+from repro.autotune.core import run_strategy
+from repro.autotune.guided import GUIDED_STRATEGIES
+from repro.autotune.tournament import TournamentResult, run_tournament
 from repro.api.persistence import load_predictor, save_predictor
 from repro.api.registry import ModelRegistry, ModelVersion, registry_root
 from repro.api.types import (
@@ -355,20 +358,40 @@ class EvalFacet(_Facet):
             request = SearchRequest(**kwargs)
         elif kwargs:
             raise TypeError("pass a SearchRequest or keyword fields, not both")
-        try:
-            driver = SEARCH_ALGORITHMS[request.algorithm]
-        except KeyError:
+        if (
+            request.algorithm not in SEARCH_ALGORITHMS
+            and request.algorithm not in GUIDED_STRATEGIES
+        ):
             raise ValueError(
                 f"unknown search algorithm {request.algorithm!r}; "
-                f"choose from {sorted(SEARCH_ALGORITHMS)}"
-            ) from None
+                f"choose from "
+                f"{sorted({*SEARCH_ALGORITHMS, *GUIDED_STRATEGIES})}"
+            )
         evaluator = self.evaluator(
             request.program, request.machine, backend=request.backend
         )
         o3_runtime = evaluator.o3_runtime()
-        result = driver(
-            evaluator, request.budget, request.seed, self._session.flag_space
-        )
+        if request.algorithm in GUIDED_STRATEGIES:
+            # Model-guided: one §3.4 profile run feeds the predictive
+            # distribution the strategy searches with (no exclusions —
+            # this is the deployment flow, not leave-one-out evaluation).
+            distribution = self._pair_distribution(
+                request.program, request.machine, backend=request.backend
+            )
+            result = run_strategy(
+                GUIDED_STRATEGIES[request.algorithm](),
+                evaluator,
+                request.budget,
+                seed=request.seed,
+                space=self._session.flag_space,
+                distribution=distribution,
+                o3_runtime=o3_runtime,
+            )
+        else:
+            driver = SEARCH_ALGORITHMS[request.algorithm]
+            result = driver(
+                evaluator, request.budget, request.seed, self._session.flag_space
+            )
         return SearchOutcome(
             program=evaluator.program.name,
             machine=request.machine,
@@ -378,6 +401,118 @@ class EvalFacet(_Facet):
             o3_runtime=o3_runtime,
             evaluations=result.evaluations,
             trajectory=tuple(result.trajectory),
+        )
+
+    def _pair_distribution(
+        self,
+        program: Program | str,
+        machine: MicroArch,
+        backend: object | None = None,
+        exclude: bool = False,
+        model: OptimisationPredictor | None = None,
+    ):
+        """The model's predictive distribution for one pair.
+
+        One -O3 profile run (the paper's deployment price) plus the
+        model's KNN mixture.  ``exclude=True`` applies the §5.1.1
+        leave-one-*program*-out guard (the paper's "across programs"
+        protocol: the target program's training rows are off-limits,
+        other programs measured on the same machine remain fair game) —
+        used by the tournament so the model never consults training
+        data for the program it is searching.
+        """
+        session = self._session
+        if model is None:
+            model = session.models._require_model()
+        resolved = session.program(program)
+        active_backend = (
+            session.backend if backend is None else resolve_backend(backend)
+        )
+        profile, code_features = profile_with_model(
+            model, session.compile(resolved), machine, active_backend
+        )
+        return model.predict_distribution(
+            profile.counters,
+            machine,
+            exclude_program=resolved.name if exclude else None,
+            code_features=code_features,
+        )
+
+    def tournament(
+        self,
+        programs: Sequence[Program | str] | None = None,
+        machines: int | Sequence[MicroArch] | None = None,
+        *,
+        budget: int = 40,
+        seeds: Sequence[int] = (0, 1),
+        strategies: Sequence[str] | None = None,
+        tolerance: float = 0.01,
+        backend: object | None = None,
+        model: OptimisationPredictor | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> TournamentResult:
+        """Run the autotuning tournament on a (program, machine) grid.
+
+        Every registered strategy — the four iterative baselines plus
+        the model-guided ones — searches each pair under the same
+        budget and seeds; the result carries the leaderboard of
+        evaluations- and simulations-to-match-best (see
+        :mod:`repro.autotune.tournament` for the accounting rules).
+
+        Defaults: the session scale's programs, the scale's sampled
+        machines, and the session's fitted model (fitting it on the
+        scale's dataset first if needed).  The model predicts each
+        pair's distribution under the §5.1.1 leave-one-out exclusions,
+        so a program in the training set never benefits from its own
+        training rows.
+        """
+        session = self._session
+        if model is None:
+            if session.model is None:
+                session.models.fit()
+            model = session.model
+        resolved_programs = [
+            session.program(program)
+            for program in (
+                programs if programs is not None else session.scale.programs
+            )
+        ]
+        if machines is None:
+            resolved_machines = session.machines()
+        elif isinstance(machines, int):
+            resolved_machines = session.machines(machines)
+        else:
+            resolved_machines = list(machines)
+        active_backend = (
+            session.backend if backend is None else resolve_backend(backend)
+        )
+
+        def make_evaluator(program: Program, machine: MicroArch) -> Evaluator:
+            return Evaluator(
+                program=program,
+                machine=machine,
+                compiler=session.compiler,
+                simulate=active_backend.run,
+                batch_simulate=getattr(active_backend, "run_many", None),
+                vectorize=session.vectorize,
+            )
+
+        def distribution_for(program: Program, machine: MicroArch):
+            return self._pair_distribution(
+                program, machine, backend=backend, exclude=True, model=model
+            )
+
+        return run_tournament(
+            resolved_programs,
+            resolved_machines,
+            budget=budget,
+            seeds=seeds,
+            strategies=strategies,
+            make_evaluator=make_evaluator,
+            distribution_for=distribution_for,
+            space=session.flag_space,
+            tolerance=tolerance,
+            progress=progress,
         )
 
 

@@ -87,7 +87,29 @@ EXPERIMENTS = {
 }
 
 #: Standalone subcommands (cannot be combined with experiment names).
-COMMANDS = ("run", "status", "list", "report", "train", "models", "serve")
+COMMANDS = (
+    "run",
+    "status",
+    "list",
+    "report",
+    "train",
+    "models",
+    "serve",
+    "tournament",
+)
+
+#: The CI smoke-gate grid: small enough for every push, deterministic
+#: for a fixed seed list, and chosen (with the 1% match tolerance) so
+#: the §5.3 economics are visible — the model-seeded GA must match
+#: best-known in strictly fewer simulations than uniform random.
+SMOKE_TOURNAMENT = {
+    "scale": "tiny",
+    "programs": ("sha", "crc"),
+    "machines": 2,
+    "budget": 40,
+    "seeds": 15,
+    "tolerance": 0.01,
+}
 
 
 def list_experiments() -> str:
@@ -115,6 +137,11 @@ def list_experiments() -> str:
     )
     lines.append(
         "prediction service: repro-experiments serve [--host H] [--port P]"
+    )
+    lines.append(
+        "search tournament: repro-experiments tournament [--budget N] "
+        "[--seeds N] [--tolerance F] [--programs p,q] [--machines N] "
+        "[--smoke] [--out DIR]"
     )
     return "\n".join(lines)
 
@@ -357,6 +384,108 @@ def _serve(args, parser) -> int:
     return serve(service, host=args.host, port=args.port, log=log)
 
 
+def _tournament(args, parser) -> int:
+    """The ``tournament`` subcommand: race every search strategy on one
+    grid and write the leaderboard plus the ``BENCH_search.json``
+    performance artifact.  ``--smoke`` pins the CI gate grid and fails
+    (exit 1) unless model-seeded search out-economises random."""
+    from repro.autotune.tournament import check_model_beats_random
+
+    if args.smoke:
+        for flag, default in (
+            ("budget", None),
+            ("seeds", None),
+            ("tolerance", None),
+            ("programs", None),
+            ("machines", None),
+        ):
+            if getattr(args, flag) != default:
+                parser.error(f"--smoke pins the gate grid; drop --{flag}")
+        scale = SMOKE_TOURNAMENT["scale"]
+        programs: list[str] | None = list(SMOKE_TOURNAMENT["programs"])
+        machines = SMOKE_TOURNAMENT["machines"]
+        budget = SMOKE_TOURNAMENT["budget"]
+        n_seeds = SMOKE_TOURNAMENT["seeds"]
+        tolerance = SMOKE_TOURNAMENT["tolerance"]
+    else:
+        scale = args.scale
+        programs = args.programs.split(",") if args.programs else None
+        machines = args.machines
+        budget = args.budget if args.budget is not None else 40
+        n_seeds = args.seeds if args.seeds is not None else 2
+        tolerance = args.tolerance if args.tolerance is not None else 0.01
+    if budget < 1:
+        parser.error(f"--budget must be >= 1: {budget}")
+    if n_seeds < 1:
+        parser.error(f"--seeds must be >= 1: {n_seeds}")
+
+    session = Session(
+        scale,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
+    progress = None if args.quiet else lambda message: print(f"  .. {message}")
+    started = time.time()
+    result = session.eval.tournament(
+        programs=programs,
+        machines=machines,
+        budget=budget,
+        seeds=tuple(range(n_seeds)),
+        tolerance=tolerance,
+        progress=progress,
+    )
+    elapsed = time.time() - started
+
+    out_dir = Path(args.out if args.out is not None else ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    markdown_path = out_dir / f"tournament-{session.scale.name}.md"
+    json_path = out_dir / f"tournament-{session.scale.name}.json"
+    markdown_path.write_text(result.render())
+    json_path.write_text(result.json_text())
+
+    # The BENCH artifact: the leaderboard's economics plus enough
+    # platform context to compare across PRs (same stamp the
+    # benchmarks/perfjson.py artifacts carry).
+    import platform as platform_module
+
+    import numpy
+
+    total_runs = len(result.runs)
+    bench_path = out_dir / "BENCH_search.json"
+    bench_payload = {
+        "benchmark": "search",
+        "smoke": bool(args.smoke),
+        "scale": session.scale.name,
+        "budget": budget,
+        "tolerance": tolerance,
+        "programs": list(result.programs),
+        "machines": list(result.machines),
+        "seeds": len(result.seeds),
+        "runs": total_runs,
+        "wall_seconds": elapsed,
+        "runs_per_sec": total_runs / elapsed if elapsed > 0 else None,
+        "standings": [standing.payload() for standing in result.standings],
+        "python": platform_module.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform_module.platform(),
+    }
+    bench_path.write_text(
+        json.dumps(bench_payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(result.render())
+    print(
+        f"{total_runs} runs in {elapsed:.1f}s; wrote {markdown_path}, "
+        f"{json_path}, {bench_path}"
+    )
+    if args.smoke:
+        ok, message = check_model_beats_random(result)
+        print(f"smoke gate: {message}")
+        return 0 if ok else 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -422,7 +551,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="with 'report': directory for report-<scale>.md/.json/.svg (default: .)",
+        help=(
+            "with 'report'/'tournament': output directory for the "
+            "rendered artifacts (default: .)"
+        ),
     )
     parser.add_argument(
         "--registry",
@@ -460,6 +592,55 @@ def main(argv: list[str] | None = None) -> int:
         help="with 'serve': TCP port, 0 for an ephemeral one (default: 8181)",
     )
     parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="with 'tournament': evaluations per search run (default: 40)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help=(
+            "with 'tournament': seed count — stochastic strategies run "
+            "once per seed 0..N-1 (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=(
+            "with 'tournament': relative slack on best-known that still "
+            "counts as a match (default: 0.01)"
+        ),
+    )
+    parser.add_argument(
+        "--programs",
+        default=None,
+        help=(
+            "with 'tournament': comma-separated program subset "
+            "(default: the scale's programs)"
+        ),
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=None,
+        help=(
+            "with 'tournament': number of sampled machines "
+            "(default: the scale's machine count)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "with 'tournament': run the fixed CI gate grid and exit 1 "
+            "unless model-seeded search out-economises random"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     args = parser.parse_args(argv)
@@ -478,9 +659,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiments not in (["run"], ["report"]) and args.resume:
         parser.error("--resume only applies to the 'run' and 'report' commands")
     if args.experiments != ["report"] and (
-        args.max_folds is not None or args.only is not None or args.out is not None
+        args.max_folds is not None or args.only is not None
     ):
-        parser.error("--max-folds/--only/--out only apply to the 'report' command")
+        parser.error("--max-folds/--only only apply to the 'report' command")
+    if args.experiments not in (["report"], ["tournament"]) and args.out is not None:
+        parser.error(
+            "--out only applies to the 'report' and 'tournament' commands"
+        )
+    if args.experiments != ["tournament"] and (
+        args.budget is not None
+        or args.seeds is not None
+        or args.tolerance is not None
+        or args.programs is not None
+        or args.machines is not None
+        or args.smoke
+    ):
+        parser.error(
+            "--budget/--seeds/--tolerance/--programs/--machines/--smoke "
+            "only apply to the 'tournament' command"
+        )
     if args.experiments != ["models"] and (
         args.promote is not None or args.rollback
     ):
@@ -509,6 +706,8 @@ def main(argv: list[str] | None = None) -> int:
         return _models(args, parser)
     if args.experiments == ["serve"]:
         return _serve(args, parser)
+    if args.experiments == ["tournament"]:
+        return _tournament(args, parser)
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in names if name not in EXPERIMENTS]

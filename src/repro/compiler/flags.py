@@ -326,7 +326,18 @@ class FlagSpace:
         This is the paper's §4.3 protocol: iterative compilation evaluates
         1000 uniform-random points of the space.
         """
-        rng = random.Random(seed)
+        return self.sample_distinct(count, random.Random(seed))
+
+    def sample_distinct(
+        self, count: int, rng: random.Random
+    ) -> list[FlagSetting]:
+        """Draw ``count`` distinct settings from an existing RNG stream.
+
+        Consumes exactly the draws :meth:`sample_many` would for the
+        same stream state, so a search strategy threading one seeded
+        ``rng`` through its whole run reproduces the legacy seed-fresh
+        behaviour bit for bit.
+        """
         seen: set[FlagSetting] = set()
         settings: list[FlagSetting] = []
         # The space is astronomically larger than any request, so rejection

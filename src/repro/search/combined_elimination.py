@@ -1,23 +1,22 @@
-"""Combined elimination (Pan & Eigenmann [30]).
+"""Combined elimination (Pan & Eigenmann [30]) — compatibility shim.
 
-Start from everything on; repeatedly measure each enabled boolean flag's
-*relative improvement* from disabling it alone, and greedily disable the
-flags with negative effect (most harmful first, re-measuring interactions
-after each elimination).  The paper cites this as the strongest
-orchestration baseline.
+Start from everything on; repeatedly measure each enabled boolean
+flag's *relative improvement* from disabling it alone, and greedily
+disable the flags with negative effect (most harmful first, re-measuring
+interactions after each elimination).  The paper cites this as the
+strongest orchestration baseline.  The algorithm now lives in
+:class:`repro.autotune.strategies.CombinedElimination` (each probing
+round priced as one vector-kernel batch); this driver keeps the legacy
+signature and produces bit-identical results away from the budget
+boundary (pinned by ``tests/golden/search_golden.json``).  The one
+divergence is a fix: the legacy driver's unconditional recheck could
+overshoot the budget by one; the scorer clamps the run exactly at it.
 """
 
 from __future__ import annotations
 
-from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace
+from repro.compiler.flags import DEFAULT_SPACE, FlagSpace
 from repro.search.evaluator import Evaluator, SearchResult
-
-
-def _all_on(space: FlagSpace) -> FlagSetting:
-    values = {}
-    for spec in space.specs:
-        values[spec.name] = True if spec.is_boolean else spec.o3
-    return FlagSetting(values)
 
 
 def combined_elimination(
@@ -27,56 +26,14 @@ def combined_elimination(
     budget: int | None = None,
 ) -> SearchResult:
     """Run CE to convergence (or until ``budget`` evaluations)."""
+    # Imported here: repro.autotune itself imports the evaluator through
+    # this package, so a module-level import would be circular.
+    from repro.autotune.core import run_strategy
+    from repro.autotune.strategies import CombinedElimination
+
     del seed  # deterministic; signature symmetry with the other drivers
-    trajectory: list[float] = []
-    spent = 0
-
-    def evaluate(setting: FlagSetting) -> float:
-        nonlocal spent
-        runtime = evaluator.evaluate(setting)
-        spent += 1
-        trajectory.append(min(trajectory[-1], runtime) if trajectory else runtime)
-        return runtime
-
-    current = _all_on(space)
-    current_runtime = evaluate(current)
-    enabled = [spec.name for spec in space.specs if spec.is_boolean]
-
-    improved = True
-    while improved and (budget is None or spent < budget):
-        improved = False
-        effects: list[tuple[float, str, FlagSetting, float]] = []
-        for name in enabled:
-            if budget is not None and spent >= budget:
-                break
-            candidate = current.with_values(**{name: False})
-            runtime = evaluate(candidate)
-            # Relative improvement of disabling `name` (negative = harmful
-            # flag worth eliminating).
-            effects.append(
-                ((runtime - current_runtime) / current_runtime, name, candidate, runtime)
-            )
-        effects.sort()
-        for effect, name, candidate, runtime in effects:
-            if effect >= 0.0:
-                break
-            # Re-measure against the *current* baseline: interactions may
-            # have changed since the probing round.
-            if candidate != current.with_values(**{name: False}):
-                candidate = current.with_values(**{name: False})
-                if budget is not None and spent >= budget:
-                    break
-                runtime = evaluate(candidate)
-            recheck = evaluate(current.with_values(**{name: False}))
-            if recheck < current_runtime:
-                current = current.with_values(**{name: False})
-                current_runtime = recheck
-                enabled.remove(name)
-                improved = True
-
-    return SearchResult(
-        best_setting=current,
-        best_runtime=current_runtime,
-        evaluations=spent,
-        trajectory=trajectory,
+    if budget is not None and budget < 1:
+        raise ValueError(f"budget must be >= 1: {budget}")
+    return run_strategy(
+        CombinedElimination(), evaluator, budget, seed=0, space=space
     )

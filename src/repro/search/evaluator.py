@@ -89,6 +89,16 @@ class Evaluator:
                 self.evaluations += 1
         return [self._cache[canonical] for canonical in canonicals]
 
+    def is_cached(self, setting: FlagSetting) -> bool:
+        """Whether evaluating ``setting`` would be a memo hit.
+
+        The autotune scorer asks this *before* pricing a batch to count
+        fresh simulations (the paper's costly unit) separately from
+        budgeted evaluations; canonicalisation is applied, so gated
+        aliases of a cached setting report cached too.
+        """
+        return setting.canonical() in self._cache
+
     def _run_many(self):
         """The batch simulation entry point, if this tier has one."""
         if not self.vectorize:
@@ -109,7 +119,20 @@ class Evaluator:
 def evaluations_to_reach(
     trajectory: Sequence[float], target_runtime: float
 ) -> int | None:
-    """First evaluation index (1-based) reaching ``target_runtime``."""
+    """First evaluation index (1-based) reaching ``target_runtime``.
+
+    Boundary semantics, pinned (consumers cap or gate on this):
+
+    * reaching means ``runtime <= target_runtime`` — equality counts;
+    * a search that first reaches the target on its *final* evaluation
+      returns ``len(trajectory)``, never ``None``;
+    * ``None`` means exactly one thing: no recorded evaluation reached
+      the target.  It is **not** a sentinel for "reached at the budget
+      cap" — callers that charge unreached runs the full budget must
+      test for ``None`` explicitly rather than comparing against
+      ``len(trajectory)``, because a legitimate final-evaluation match
+      also equals the budget.
+    """
     for index, runtime in enumerate(trajectory, start=1):
         if runtime <= target_runtime:
             return index

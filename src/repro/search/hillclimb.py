@@ -1,14 +1,14 @@
-"""Multi-restart hill climbing over the flag space (Almagor et al. [2]).
+"""Multi-restart hill climbing (Almagor et al. [2]) — compatibility shim.
 
-From a random starting point, repeatedly move to the best Hamming-distance-1
-neighbour until no neighbour improves; restart until the evaluation budget
-is spent.  The related-work baseline the paper cites for searching
-compilation sequences.
+From a random starting point, repeatedly move to the first improving
+Hamming-distance-1 neighbour until none improves; restart until the
+evaluation budget is spent.  The algorithm now lives in
+:class:`repro.autotune.strategies.HillClimb`; this driver keeps the
+legacy signature and produces bit-identical results (pinned by
+``tests/golden/search_golden.json``).
 """
 
 from __future__ import annotations
-
-import random
 
 from repro.compiler.flags import DEFAULT_SPACE, FlagSpace
 from repro.search.evaluator import Evaluator, SearchResult
@@ -20,45 +20,14 @@ def hill_climb(
     seed: int,
     space: FlagSpace = DEFAULT_SPACE,
 ) -> SearchResult:
-    """Steepest-ascent hill climbing with random restarts."""
+    """First-improvement hill climbing with random restarts."""
+    # Imported here: repro.autotune itself imports the evaluator through
+    # this package, so a module-level import would be circular.
+    from repro.autotune.core import run_strategy
+    from repro.autotune.strategies import HillClimb
+
     if budget < 1:
         raise ValueError(f"budget must be >= 1: {budget}")
-    rng = random.Random(seed)
-    trajectory: list[float] = []
-    best_setting = None
-    best_runtime = float("inf")
-
-    def record(runtime: float) -> None:
-        nonlocal best_runtime
-        trajectory.append(min(trajectory[-1], runtime) if trajectory else runtime)
-
-    spent = 0
-    while spent < budget:
-        current = space.sample(rng)
-        current_runtime = evaluator.evaluate(current)
-        spent += 1
-        record(current_runtime)
-        if current_runtime < best_runtime:
-            best_runtime, best_setting = current_runtime, current
-        improved = True
-        while improved and spent < budget:
-            improved = False
-            for neighbour in space.neighbours(current):
-                if spent >= budget:
-                    break
-                runtime = evaluator.evaluate(neighbour)
-                spent += 1
-                record(runtime)
-                if runtime < current_runtime:
-                    current, current_runtime = neighbour, runtime
-                    improved = True
-                    if runtime < best_runtime:
-                        best_runtime, best_setting = runtime, neighbour
-                    break  # first-improvement step, then re-scan
-
-    return SearchResult(
-        best_setting=best_setting,
-        best_runtime=best_runtime,
-        evaluations=spent,
-        trajectory=trajectory,
+    return run_strategy(
+        HillClimb(), evaluator, budget, seed=seed, space=space
     )

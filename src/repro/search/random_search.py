@@ -1,8 +1,11 @@
-"""Uniform-random iterative compilation (§4.3).
+"""Uniform-random iterative compilation (§4.3) — compatibility shim.
 
 The paper's "Best" is the best of 1000 uniform-random settings; its §5.3
 comparison asks how many random evaluations match the model's single
-prediction (≈50 on average).  Both come from this driver.
+prediction (≈50 on average).  The algorithm now lives in
+:class:`repro.autotune.strategies.RandomSearch`; this driver keeps the
+legacy signature and produces bit-identical results (pinned by
+``tests/golden/search_golden.json``).
 """
 
 from __future__ import annotations
@@ -18,25 +21,13 @@ def random_search(
     space: FlagSpace = DEFAULT_SPACE,
 ) -> SearchResult:
     """Evaluate ``budget`` uniform-random settings; track the running best."""
+    # Imported here: repro.autotune itself imports the evaluator through
+    # this package, so a module-level import would be circular.
+    from repro.autotune.core import run_strategy
+    from repro.autotune.strategies import RandomSearch
+
     if budget < 1:
         raise ValueError(f"budget must be >= 1: {budget}")
-    settings = space.sample_many(budget, seed)
-    # The sample is fixed up front (nothing adaptive), so the whole
-    # budget prices as one compile-per-setting + vectorised simulate-many
-    # batch; folding the running best afterwards preserves the exact
-    # trajectory a sequential loop would record.
-    runtimes = evaluator.evaluate_many(settings)
-    best_setting = settings[0]
-    best_runtime = float("inf")
-    trajectory: list[float] = []
-    for setting, runtime in zip(settings, runtimes):
-        if runtime < best_runtime:
-            best_runtime = runtime
-            best_setting = setting
-        trajectory.append(best_runtime)
-    return SearchResult(
-        best_setting=best_setting,
-        best_runtime=best_runtime,
-        evaluations=len(settings),
-        trajectory=trajectory,
+    return run_strategy(
+        RandomSearch(), evaluator, budget, seed=seed, space=space
     )

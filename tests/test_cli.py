@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro import cli
@@ -213,4 +215,64 @@ class TestCli:
             "fig10",
             "headline",
             "iterations",
+        }
+
+
+class TestTournamentCommand:
+    def test_writes_leaderboard_and_bench_artifact(self, tmp_path, capsys):
+        out = tmp_path / "tournament"
+        assert cli.main(
+            ["tournament", "--scale", "tiny", "--programs", "sha",
+             "--machines", "1", "--budget", "10", "--seeds", "1",
+             "--cache-dir", str(tmp_path / "cache"), "--out", str(out),
+             "--quiet"]
+        ) == 0
+        assert (out / "tournament-tiny.md").is_file()
+        assert (out / "tournament-tiny.json").is_file()
+        bench = json.loads((out / "BENCH_search.json").read_text())
+        assert bench["benchmark"] == "search"
+        assert bench["budget"] == 10
+        assert {s["strategy"] for s in bench["standings"]} >= {
+            "random", "model-genetic",
+        }
+        stdout = capsys.readouterr().out
+        assert "# Search tournament" in stdout
+
+    def test_smoke_rejects_grid_overrides(self):
+        with pytest.raises(SystemExit):
+            cli.main(["tournament", "--smoke", "--budget", "5"])
+
+    def test_flags_rejected_outside_tournament(self):
+        with pytest.raises(SystemExit):
+            cli.main(["table2", "--budget", "5"])
+        with pytest.raises(SystemExit):
+            cli.main(["table2", "--smoke"])
+
+    def test_rejects_bad_budget_and_seeds(self, tmp_path):
+        base = ["tournament", "--scale", "tiny",
+                "--cache-dir", str(tmp_path), "--quiet"]
+        with pytest.raises(SystemExit):
+            cli.main(base + ["--budget", "0"])
+        with pytest.raises(SystemExit):
+            cli.main(base + ["--seeds", "0"])
+
+    def test_smoke_grid_matches_bench_script(self):
+        """The CLI gate grid and benchmarks/bench_search.py must agree."""
+        import importlib.util
+        from pathlib import Path
+
+        bench_path = (
+            Path(cli.__file__).resolve().parents[2]
+            / "benchmarks"
+            / "bench_search.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_search", bench_path)
+        bench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench)
+        assert bench.SMOKE_GRID == {
+            "programs": list(cli.SMOKE_TOURNAMENT["programs"]),
+            "machines": cli.SMOKE_TOURNAMENT["machines"],
+            "budget": cli.SMOKE_TOURNAMENT["budget"],
+            "seeds": tuple(range(cli.SMOKE_TOURNAMENT["seeds"])),
+            "tolerance": cli.SMOKE_TOURNAMENT["tolerance"],
         }

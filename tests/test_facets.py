@@ -180,3 +180,43 @@ class TestExamplesOnFacets:
             f"{example} failed under -W error::DeprecationWarning:\n"
             f"{result.stdout}\n{result.stderr}"
         )
+
+
+class TestEvalTournament:
+    def test_guided_search_through_facet(self, fitted, machine):
+        outcome = fitted.eval.search(
+            program="sha", machine=machine, algorithm="model-genetic",
+            budget=15, seed=0,
+        )
+        assert outcome.algorithm == "model-genetic"
+        assert outcome.evaluations <= 15
+        assert outcome.best_runtime <= outcome.o3_runtime * 1.5
+
+    def test_unknown_algorithm_lists_guided_names(self, session, machine):
+        with pytest.raises(ValueError, match="model-genetic"):
+            session.eval.search(
+                program="sha", machine=machine, algorithm="nope", budget=5
+            )
+
+    def test_tournament_on_tiny_pair(self, fitted):
+        result = fitted.eval.tournament(
+            programs=["sha"], machines=1, budget=10, seeds=(0,),
+        )
+        names = {standing.strategy for standing in result.standings}
+        assert {"random", "model-genetic", "beam"} <= names
+        assert result.budget == 10
+        # Every pair got a best-known floor and every run respects budget.
+        assert set(result.best_known) == {("sha", "m0")}
+        assert all(run.evaluations <= 10 for run in result.runs)
+
+    def test_tournament_fits_model_when_absent(self):
+        fresh = Session("tiny", use_disk_cache=False)
+        assert fresh.model is None
+        result = fresh.eval.tournament(
+            programs=["sha"], machines=1, budget=8, seeds=(0,),
+            strategies=["random", "model-genetic"],
+        )
+        assert fresh.model is not None
+        assert {s.strategy for s in result.standings} == {
+            "random", "model-genetic",
+        }

@@ -249,3 +249,35 @@ class TestEvaluatorBackendInjection:
         evaluator.evaluate(o3_setting())
         assert len(calls) == 1
         assert evaluator.evaluations == 1
+
+
+class TestEvaluationsToReachNoneDisambiguation:
+    """None means "never reached", pinned against the historical ambiguity
+    where a final-evaluation match and an exhausted budget both looked
+    like the budget number to callers comparing against len(trajectory)."""
+
+    def test_final_evaluation_match_is_not_none(self):
+        result = SearchResult(
+            best_setting=o3_setting(),
+            best_runtime=1.0,
+            evaluations=3,
+            trajectory=[3.0, 2.0, 1.0],
+        )
+        # Reached exactly on the last evaluation: returns the budget
+        # number, never None.
+        assert result.evaluations_to_reach(1.0) == 3
+
+    def test_never_reached_is_none_not_budget(self):
+        result = SearchResult(
+            best_setting=o3_setting(),
+            best_runtime=2.0,
+            evaluations=3,
+            trajectory=[3.0, 2.5, 2.0],
+        )
+        # A caller charging unreached runs the full budget must branch on
+        # None — the two cases are distinguishable only this way.
+        reached_at_cap = result.evaluations_to_reach(2.0)
+        never = result.evaluations_to_reach(1.0)
+        assert reached_at_cap == len(result.trajectory)
+        assert never is None
+        assert never != reached_at_cap
