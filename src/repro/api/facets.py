@@ -184,6 +184,55 @@ def ranked_prediction(
     return RankedPrediction(program=program, machine=machine, settings=ranked)
 
 
+def ranked_prediction_many(
+    model: OptimisationPredictor,
+    queries: Sequence[dict],
+) -> list[RankedPrediction]:
+    """Batched :func:`ranked_prediction`: one ranking-kernel pass for the
+    whole batch, bit-identical per item to the single-query path.
+
+    Each query is a mapping with ``counters`` and ``machine`` plus optional
+    ``top`` (default 5), ``code_features``, and ``program`` — the shape the
+    service's batched ``/predict`` already parses.  Models without a batch
+    kernel (duck-typed predictors) fall back to the scalar loop.
+    """
+    if not hasattr(model, "predict_distribution_many"):
+        return [
+            ranked_prediction(
+                model,
+                query["counters"],
+                query["machine"],
+                query.get("top", 5),
+                code_features=query.get("code_features"),
+                program=query.get("program"),
+            )
+            for query in queries
+        ]
+    distributions = model.predict_distribution_many(
+        [query["counters"] for query in queries],
+        [query["machine"] for query in queries],
+        code_features=[query.get("code_features") for query in queries],
+    )
+    predictions = []
+    for query, distribution in zip(queries, distributions):
+        ranked = tuple(
+            RankedSetting(
+                rank=index + 1, setting=setting, probability=probability
+            )
+            for index, (setting, probability) in enumerate(
+                distribution.top_settings(query.get("top", 5))
+            )
+        )
+        predictions.append(
+            RankedPrediction(
+                program=query.get("program"),
+                machine=query["machine"],
+                settings=ranked,
+            )
+        )
+    return predictions
+
+
 class _Facet:
     """Base class: a view over one slice of a session's state."""
 
@@ -640,6 +689,7 @@ class ModelsFacet(_Facet):
             beta=beta,
             quantile=quantile,
             feature_mode=feature_mode,
+            vectorize=session.vectorize,
         ).fit(training)
         session.model = model
         session.model_fingerprint = training.fingerprint()
@@ -771,7 +821,9 @@ class ModelsFacet(_Facet):
     def load(self, path: str | Path) -> OptimisationPredictor:
         """Load a persisted model file into this session."""
         session = self._session
-        predictor, provenance = load_predictor(path, space=session.flag_space)
+        predictor, provenance = load_predictor(
+            path, space=session.flag_space, vectorize=session.vectorize
+        )
         session.model = predictor
         session.model_fingerprint = provenance["fingerprint"]
         return predictor
@@ -813,7 +865,9 @@ class ModelsFacet(_Facet):
         session = self._session
         if not isinstance(registry, ModelRegistry):
             registry = self.registry(registry)
-        predictor, entry = registry.load(version, space=session.flag_space)
+        predictor, entry = registry.load(
+            version, space=session.flag_space, vectorize=session.vectorize
+        )
         session.model = predictor
         session.model_fingerprint = entry.fingerprint
         return entry

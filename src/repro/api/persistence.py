@@ -43,13 +43,14 @@ def save_predictor(
 
 
 def load_predictor(
-    path: str | Path, space: FlagSpace = DEFAULT_SPACE
+    path: str | Path, space: FlagSpace = DEFAULT_SPACE, vectorize: bool = True
 ) -> tuple[OptimisationPredictor, dict]:
     """Read a predictor back; returns ``(model, provenance)``.
 
     ``space`` must match the flag space the model was fitted on (checked
     against the stored dimension names).  ``provenance`` holds the stored
-    ``fingerprint`` and ``metadata``.
+    ``fingerprint`` and ``metadata``.  ``vectorize`` selects whether the
+    restored model carries its batch ranking kernel.
     """
     payload = json.loads(Path(path).read_text())
     version = payload.get("format")
@@ -57,7 +58,9 @@ def load_predictor(
         raise ValueError(
             f"unsupported model format {version!r} (expected {FORMAT_VERSION})"
         )
-    predictor = OptimisationPredictor.from_state(payload["model"], space=space)
+    predictor = OptimisationPredictor.from_state(
+        payload["model"], space=space, vectorize=vectorize
+    )
     return predictor, {
         "fingerprint": payload.get("fingerprint"),
         "metadata": payload.get("metadata", {}),

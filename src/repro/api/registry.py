@@ -34,8 +34,11 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from repro.compiler.flags import DEFAULT_SPACE, FlagSpace
 from repro.core.predictor import OptimisationPredictor
+from repro.core.vector import stack_state_arrays
 from repro.store.store import atomic_write_text, tmp_sibling
 
 #: Registry file schema version; bump on incompatible layout changes.
@@ -116,6 +119,9 @@ class ModelRegistry:
 
     def _model_path(self, version: int) -> Path:
         return self._model_dir() / f"v{version:04d}.json"
+
+    def _arrays_path(self, version: int) -> Path:
+        return self._model_dir() / f"v{version:04d}.arrays.npz"
 
     def _promoted_path(self) -> Path:
         return self.root / self.PROMOTED_NAME
@@ -255,9 +261,53 @@ class ModelRegistry:
         current = self._read_promoted().get("current")
         return None if current is None else int(current)
 
+    # ------------------------------------------------------- ranking sidecar
+    def _write_arrays(self, version: int, payload: dict) -> None:
+        """Precompute the model's ranking-ready arrays at promote time.
+
+        The stacked ``[P, F]`` feature matrix and padded ``[P, D, Vmax]``
+        theta tensor are exactly what the batch prediction kernel needs,
+        so the service loads a promoted model without re-stacking its
+        pairs.  Idempotent (keyed by the entry digest) and atomic; purely
+        an acceleration — a missing or stale sidecar only costs a rebuild.
+        """
+        target = self._arrays_path(version)
+        if target.exists():
+            return
+        features, theta = stack_state_arrays(payload["model"])
+        tmp = tmp_sibling(target)
+        with open(tmp, "wb") as handle:
+            np.savez(
+                handle,
+                digest=np.array(payload["digest"]),
+                features=features,
+                theta=theta,
+            )
+        os.replace(tmp, target)
+
+    def _load_arrays(
+        self, version: int, digest: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """The promote-time sidecar arrays, or ``None`` when absent, torn,
+        or written for a different entry digest."""
+        path = self._arrays_path(version)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                if str(data["digest"]) != digest:
+                    return None
+                return (
+                    np.array(data["features"], dtype=float),
+                    np.array(data["theta"], dtype=float),
+                )
+        except Exception:  # noqa: BLE001 - any corruption means "rebuild"
+            return None
+
     def promote(self, version: int) -> ModelVersion:
         """Point deployments at ``version`` (verified first)."""
         entry = self._read_entry(version)  # digest-verified, must exist
+        self._write_arrays(version, entry)
         with self._pointer_lock():
             state = self._read_promoted()
             previous = state.get("current")
@@ -313,9 +363,18 @@ class ModelRegistry:
 
     # ----------------------------------------------------------------- loading
     def load(
-        self, version: int | None = None, space: FlagSpace = DEFAULT_SPACE
+        self,
+        version: int | None = None,
+        space: FlagSpace = DEFAULT_SPACE,
+        vectorize: bool = True,
     ) -> tuple[OptimisationPredictor, ModelVersion]:
-        """Rebuild a registered predictor (default: the promoted one)."""
+        """Rebuild a registered predictor (default: the promoted one).
+
+        With ``vectorize=True`` the model comes back ranking-ready: the
+        promote-time sidecar arrays are attached when present (and valid
+        for this entry's digest), otherwise the tensors are rebuilt from
+        the pairs — bit-identical either way.
+        """
         if version is None:
             version = self.promoted_version()
             if version is None:
@@ -327,7 +386,20 @@ class ModelRegistry:
         else:
             promoted = version == self.promoted_version()
         payload = self._read_entry(version)
-        predictor = OptimisationPredictor.from_state(payload["model"], space=space)
+        predictor = OptimisationPredictor.from_state(
+            payload["model"], space=space, vectorize=False
+        )
+        if vectorize:
+            arrays = self._load_arrays(version, payload["digest"])
+            try:
+                if arrays is not None:
+                    predictor.ensure_tensors(
+                        features=arrays[0], theta=arrays[1]
+                    )
+                else:
+                    predictor.ensure_tensors()
+            except ValueError:
+                predictor.ensure_tensors()  # stale sidecar shapes: rebuild
         return predictor, ModelVersion(
             version=version,
             digest=payload["digest"],

@@ -144,16 +144,32 @@ def leave_one_out(
             if training.code_features is not None
             else None
         )
-        predictions = [
-            model.predict(
-                PerfCounters(*training.counters[p, m, :]),
-                machine,
-                exclude_program=name,
-                exclude_machine=machine,
-                code_features=code_features,
-            )
-            for m, machine in enumerate(training.machines)
+        machines = list(training.machines)
+        counters_row = [
+            PerfCounters(*training.counters[p, m, :])
+            for m in range(len(machines))
         ]
+        if hasattr(model, "predict_many"):
+            # One ranking-kernel pass for the whole machine row; duck-typed
+            # predictors (e.g. the joint-vote ablation) keep the scalar loop.
+            predictions = model.predict_many(
+                counters_row,
+                machines,
+                exclude_programs=[name] * len(machines),
+                exclude_machines=machines,
+                code_features=[code_features] * len(machines),
+            )
+        else:
+            predictions = [
+                model.predict(
+                    counters,
+                    machine,
+                    exclude_program=name,
+                    exclude_machine=machine,
+                    code_features=code_features,
+                )
+                for counters, machine in zip(counters_row, machines)
+            ]
         # Price the whole machine row in one oracle batch: grid settings
         # come straight from the matrix, and any out-of-grid predictions
         # fall back through one vectorised simulate-many pass per setting

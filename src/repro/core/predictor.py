@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compiler.flags import DEFAULT_SPACE, FlagSetting, FlagSpace
+from repro.core import vector as model_vector
 from repro.core.distribution import IIDDistribution
 from repro.core.features import FeatureNormaliser, feature_mask, feature_vector
 from repro.core.training import TrainingSet
@@ -52,6 +53,7 @@ class OptimisationPredictor:
         quantile: float = DEFAULT_QUANTILE,
         extended: bool = False,
         feature_mode: str = "both",
+        vectorize: bool = True,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1: {k}")
@@ -61,9 +63,11 @@ class OptimisationPredictor:
         self.quantile = quantile
         self.extended = extended
         self.feature_mode = feature_mode
+        self.vectorize = vectorize
         self._pairs: list[_TrainingPair] = []
         self._normaliser: FeatureNormaliser | None = None
         self._mask: np.ndarray | None = None
+        self._tensors: model_vector.PredictorTensors | None = None
 
     # -------------------------------------------------------------- training
     def fit(self, training: TrainingSet) -> "OptimisationPredictor":
@@ -109,11 +113,37 @@ class OptimisationPredictor:
                     )
                 )
                 row += 1
+        self._refresh_tensors()
         return self
 
     @property
     def is_fitted(self) -> bool:
         return bool(self._pairs)
+
+    def _refresh_tensors(self) -> None:
+        if self.vectorize and self._pairs:
+            self._tensors = model_vector.PredictorTensors.from_pairs(
+                self._pairs, self.space
+            )
+        else:
+            self._tensors = None
+
+    def ensure_tensors(
+        self,
+        features: np.ndarray | None = None,
+        theta: np.ndarray | None = None,
+    ) -> None:
+        """Attach (or rebuild) the batch-kernel tensors.
+
+        The registry calls this with its precomputed promote-time sidecar
+        arrays so a loaded model is ranking-ready without re-stacking.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted")
+        self.vectorize = True
+        self._tensors = model_vector.PredictorTensors.from_pairs(
+            self._pairs, self.space, features=features, theta=theta
+        )
 
     # ----------------------------------------------------------- persistence
     def get_state(self) -> dict:
@@ -152,7 +182,7 @@ class OptimisationPredictor:
 
     @staticmethod
     def from_state(
-        state: dict, space: FlagSpace = DEFAULT_SPACE
+        state: dict, space: FlagSpace = DEFAULT_SPACE, vectorize: bool = True
     ) -> "OptimisationPredictor":
         """Rebuild a fitted predictor from :meth:`get_state` output."""
         if list(state["space_names"]) != list(space.names):
@@ -167,6 +197,7 @@ class OptimisationPredictor:
             quantile=float(params["quantile"]),
             extended=bool(params["extended"]),
             feature_mode=str(params["feature_mode"]),
+            vectorize=vectorize,
         )
         predictor._mask = np.array(state["mask"], dtype=bool)
         predictor._normaliser = FeatureNormaliser(
@@ -187,6 +218,7 @@ class OptimisationPredictor:
             )
             for entry in state["pairs"]
         ]
+        predictor._refresh_tensors()
         return predictor
 
     def _query_vector(
@@ -205,24 +237,49 @@ class OptimisationPredictor:
             vector = np.concatenate([vector, np.asarray(code_features, float)])
         return self._normaliser.transform_one(vector)[self._mask]
 
+    def _candidate_indices(
+        self,
+        exclude_program: str | None,
+        exclude_machine: MicroArch | None,
+    ) -> np.ndarray:
+        """Indices of every training row a prediction may consult.
+
+        The single gate between the memorised training rows and any
+        prediction — the scalar *and* vectorised paths of
+        :meth:`predict_distribution` and :meth:`neighbours` all select
+        through it, exactly once per query, so instrumenting (or
+        auditing) this method observes *all* training data the model can
+        possibly touch.  The leave-one-out leakage guard relies on that.
+
+        Both branches return the same indices in the same (ascending)
+        order: the id-mask compares dense program/machine ids, the python
+        loop compares the objects themselves.
+        """
+        if self._tensors is not None:
+            mask = self._tensors.candidate_mask(exclude_program, exclude_machine)
+            return np.nonzero(mask)[0]
+        return np.array(
+            [
+                index
+                for index, pair in enumerate(self._pairs)
+                if (exclude_program is None or pair.program != exclude_program)
+                and (
+                    exclude_machine is None or pair.machine != exclude_machine
+                )
+            ],
+            dtype=np.intp,
+        )
+
     def _candidates(
         self,
         exclude_program: str | None,
         exclude_machine: MicroArch | None,
     ) -> list[_TrainingPair]:
-        """Every training row a prediction may consult, exclusions applied.
-
-        The single gate between the memorised training rows and any
-        prediction — :meth:`predict_distribution` and :meth:`neighbours`
-        both select through it, so instrumenting (or auditing) this
-        method observes *all* training data the model can possibly
-        touch.  The leave-one-out leakage guard relies on that.
-        """
+        """The training rows a prediction may consult, exclusions applied
+        (selected through the :meth:`_candidate_indices` audit gate)."""
         return [
-            pair
-            for pair in self._pairs
-            if (exclude_program is None or pair.program != exclude_program)
-            and (exclude_machine is None or pair.machine != exclude_machine)
+            self._pairs[int(index)]
+            for index in self._candidate_indices(exclude_program, exclude_machine)
         ]
 
     # ------------------------------------------------------------ prediction
@@ -234,9 +291,23 @@ class OptimisationPredictor:
         exclude_machine: MicroArch | None = None,
         code_features=None,
     ) -> IIDDistribution:
-        """q(y|x*): the weighted mixture of the K nearest pairs (eq. 6)."""
+        """q(y|x*): the weighted mixture of the K nearest pairs (eq. 6).
+
+        The scalar reference implementation; with ``vectorize=True`` the
+        call routes through the batched kernel (a one-row batch), which is
+        bit-identical by construction and proven so by
+        ``tests/test_model_vector.py``.
+        """
         if not self.is_fitted:
             raise RuntimeError("predictor is not fitted")
+        if self._tensors is not None:
+            return self._predict_distribution_batch(
+                [counters],
+                [machine],
+                [exclude_program],
+                [exclude_machine],
+                [code_features],
+            )[0]
         query = self._query_vector(counters, machine, code_features)
 
         candidates = self._candidates(exclude_program, exclude_machine)
@@ -273,6 +344,134 @@ class OptimisationPredictor:
         )
         return distribution.mode()
 
+    # -------------------------------------------------------- batched kernel
+    def _query_matrix(self, counters_list, machines, code_features_list):
+        rows = []
+        for counters, machine, code_features in zip(
+            counters_list, machines, code_features_list
+        ):
+            vector = feature_vector(counters, machine, self.extended)
+            if self.feature_mode == "with_code":
+                if code_features is None:
+                    raise ValueError(
+                        "feature_mode='with_code' needs the test program's "
+                        "code features (from its -O3 binary)"
+                    )
+                vector = np.concatenate(
+                    [vector, np.asarray(code_features, float)]
+                )
+            rows.append(vector)
+        matrix = np.array(rows)
+        return self._normaliser.transform(matrix)[:, self._mask]
+
+    def _predict_distribution_batch(
+        self, counters_list, machines, exclude_programs, exclude_machines,
+        code_features_list,
+    ) -> list[IIDDistribution]:
+        queries = self._query_matrix(counters_list, machines, code_features_list)
+        indices = [
+            self._candidate_indices(exclude_program, exclude_machine)
+            for exclude_program, exclude_machine in zip(
+                exclude_programs, exclude_machines
+            )
+        ]
+        return model_vector.predict_distributions(
+            self._tensors,
+            queries,
+            indices,
+            k=self.k,
+            beta=self.beta,
+            space=self.space,
+        )
+
+    def _normalise_batch_args(self, counters_list, machines, exclude_programs,
+                              exclude_machines, code_features_list):
+        batch = len(machines)
+        if len(counters_list) != batch:
+            raise ValueError("counters and machines must have equal length")
+
+        def expand(values, label):
+            if values is None:
+                return [None] * batch
+            values = list(values)
+            if len(values) != batch:
+                raise ValueError(f"{label} must match the batch length")
+            return values
+
+        return (
+            list(counters_list),
+            list(machines),
+            expand(exclude_programs, "exclude_programs"),
+            expand(exclude_machines, "exclude_machines"),
+            expand(code_features_list, "code_features"),
+        )
+
+    def predict_distribution_many(
+        self,
+        counters_list,
+        machines,
+        exclude_programs=None,
+        exclude_machines=None,
+        code_features=None,
+    ) -> list[IIDDistribution]:
+        """Batched :meth:`predict_distribution` — one kernel pass for the
+        whole batch, bit-identical to the scalar loop.
+
+        Exclusion/code-feature lists are per-query and optional (``None``
+        broadcasts ``None`` to every query).  Falls back to the scalar
+        loop when the model was built with ``vectorize=False``.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted")
+        args = self._normalise_batch_args(
+            counters_list, machines, exclude_programs, exclude_machines,
+            code_features,
+        )
+        if not args[1]:
+            return []
+        if self._tensors is None:
+            return [
+                self.predict_distribution(c, m, ep, em, cf)
+                for c, m, ep, em, cf in zip(*args)
+            ]
+        return self._predict_distribution_batch(*args)
+
+    def predict_many(
+        self,
+        counters_list,
+        machines,
+        exclude_programs=None,
+        exclude_machines=None,
+        code_features=None,
+    ) -> list[FlagSetting]:
+        """Batched :meth:`predict` (eq. 1 over eq. 6, one kernel pass)."""
+        return [
+            distribution.mode()
+            for distribution in self.predict_distribution_many(
+                counters_list, machines, exclude_programs, exclude_machines,
+                code_features,
+            )
+        ]
+
+    def rank_many(
+        self,
+        counters_list,
+        machines,
+        top: int,
+        exclude_programs=None,
+        exclude_machines=None,
+        code_features=None,
+    ) -> list[list[tuple[FlagSetting, float]]]:
+        """Batched top-``top`` rankings: one kernel pass for the mixture
+        distributions, then the deterministic best-first enumeration."""
+        return [
+            distribution.top_settings(top)
+            for distribution in self.predict_distribution_many(
+                counters_list, machines, exclude_programs, exclude_machines,
+                code_features,
+            )
+        ]
+
     def neighbours(
         self,
         counters: PerfCounters,
@@ -281,9 +480,32 @@ class OptimisationPredictor:
         exclude_machine: MicroArch | None = None,
         code_features=None,
     ) -> list[tuple[str, MicroArch, float]]:
-        """The K nearest training pairs and distances (for analysis)."""
+        """The K nearest training pairs and distances (for analysis).
+
+        Guards match :meth:`predict_distribution`: an unfitted model and
+        an exclusion set that empties the candidates both raise.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("predictor is not fitted")
         query = self._query_vector(counters, machine, code_features)
+        if self._tensors is not None:
+            indices = self._candidate_indices(exclude_program, exclude_machine)
+            if indices.size == 0:
+                raise RuntimeError("no training pairs left after exclusions")
+            top, top_distances = model_vector.nearest_neighbours(
+                self._tensors, query, indices, self.k
+            )
+            return [
+                (
+                    self._pairs[int(index)].program,
+                    self._pairs[int(index)].machine,
+                    float(distance),
+                )
+                for index, distance in zip(top, top_distances)
+            ]
         candidates = self._candidates(exclude_program, exclude_machine)
+        if not candidates:
+            raise RuntimeError("no training pairs left after exclusions")
         distances = np.array(
             [float(np.linalg.norm(pair.features - query)) for pair in candidates]
         )

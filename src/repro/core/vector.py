@@ -1,0 +1,315 @@
+"""Vectorised prediction/ranking kernel for the §3.3.2 model.
+
+This is the model-tier twin of :mod:`repro.sim.vector`: the scalar
+KNN/softmax/mixture math in :class:`repro.core.predictor.OptimisationPredictor`
+stays the executable reference, and this module prices whole *batches* of
+queries against the fitted training pairs in a handful of numpy passes.
+
+Bit-compatibility contract
+--------------------------
+Every batched result is **bit-identical** to the scalar reference, not
+merely close.  The kernel earns that the same way the simulate kernel did —
+by performing *the same float operations in the same order* per element:
+
+* Distances: the scalar path computes ``np.linalg.norm(pair.features -
+  query)``, which lowers to ``sqrt(dot(d, d))``.  The batched path computes
+  ``np.sqrt(np.vecdot(diff, diff))`` over a C-contiguous ``[B, P, F]``
+  difference tensor — ``np.vecdot`` runs the same pairwise dot kernel per
+  row, so every distance matches to the last ulp.  (On numpy < 2.0, where
+  ``vecdot`` does not exist, a per-row ``np.dot`` loop stands in.)
+* Top-K: ``stable_topk`` reproduces ``np.argsort(kind="stable")[:k]``
+  exactly — ``argpartition`` finds the k-th distance, ties at the pivot are
+  repaired in index order, and the selected rows are re-sorted stably.
+* Softmax: elementwise exp/shift, with the per-row normaliser reduced over
+  the last axis of a C-contiguous array — the same ``add.reduce`` tree as
+  the scalar path's ``weights.sum()``.
+* Mixture: :meth:`IIDDistribution.mix` accumulates neighbour thetas in
+  sequence; the batched kernel runs the identical ordered K-loop (never an
+  einsum, whose reassociation would drift in the last ulp).
+
+Queries whose exclusion sets differ in *candidate count* may need a
+different K (``min(k, candidates)``); rows are grouped by that effective K
+and each group runs as one rectangular kernel, so padding never leaks into
+a reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.flags import FlagSpace
+from repro.core.distribution import IIDDistribution
+
+__all__ = [
+    "PredictorTensors",
+    "stack_state_arrays",
+    "query_distances",
+    "stable_topk",
+    "predict_distributions",
+    "nearest_neighbours",
+]
+
+
+if hasattr(np, "vecdot"):
+
+    def _row_dots(diff: np.ndarray) -> np.ndarray:
+        """dot(d, d) along the last axis — numpy >= 2.0 fast path."""
+        return np.vecdot(diff, diff)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+
+    def _row_dots(diff: np.ndarray) -> np.ndarray:
+        flat = diff.reshape(-1, diff.shape[-1])
+        out = np.empty(flat.shape[0], dtype=flat.dtype)
+        for row in range(flat.shape[0]):
+            out[row] = np.dot(flat[row], flat[row])
+        return out.reshape(diff.shape[:-1])
+
+
+@dataclass(frozen=True)
+class PredictorTensors:
+    """The fitted training pairs, stacked into ranking-ready arrays.
+
+    ``features[p]`` is pair ``p``'s normalised, masked feature vector and
+    ``theta[p, d, :cardinalities[d]]`` its per-dimension multinomial
+    (zero-padded to the widest dimension).  ``program_ids``/``machine_ids``
+    map each pair to a dense id so leave-one-out exclusion masks are two
+    integer compares instead of P python equality checks.
+    """
+
+    features: np.ndarray  # [P, F] float64, C-contiguous
+    theta: np.ndarray  # [P, D, Vmax] float64, zero-padded
+    cardinalities: tuple[int, ...]
+    program_ids: np.ndarray  # [P] int64
+    machine_ids: np.ndarray  # [P] int64
+    program_index: dict
+    machine_index: dict
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Sequence,
+        space: FlagSpace,
+        features: np.ndarray | None = None,
+        theta: np.ndarray | None = None,
+    ) -> "PredictorTensors":
+        """Stack fitted ``_TrainingPair``s; precomputed arrays (from the
+        registry sidecar) may be supplied and are validated against the
+        expected shapes."""
+        if not pairs:
+            raise ValueError("cannot stack an empty training set")
+        cardinalities = space.cardinalities()
+        n_pairs = len(pairs)
+        n_dims = len(cardinalities)
+        v_max = max(cardinalities)
+        n_features = int(pairs[0].features.size)
+
+        if features is None:
+            features = np.array([pair.features for pair in pairs], dtype=float)
+        else:
+            features = np.ascontiguousarray(np.asarray(features, dtype=float))
+        if features.shape != (n_pairs, n_features):
+            raise ValueError(
+                f"features shape {features.shape} != {(n_pairs, n_features)}"
+            )
+
+        if theta is None:
+            theta = np.zeros((n_pairs, n_dims, v_max), dtype=float)
+            for p, pair in enumerate(pairs):
+                for d, probs in enumerate(pair.distribution.theta):
+                    theta[p, d, : len(probs)] = probs
+        else:
+            theta = np.ascontiguousarray(np.asarray(theta, dtype=float))
+        if theta.shape != (n_pairs, n_dims, v_max):
+            raise ValueError(
+                f"theta shape {theta.shape} != {(n_pairs, n_dims, v_max)}"
+            )
+
+        program_index: dict = {}
+        machine_index: dict = {}
+        program_ids = np.empty(n_pairs, dtype=np.int64)
+        machine_ids = np.empty(n_pairs, dtype=np.int64)
+        for p, pair in enumerate(pairs):
+            program_ids[p] = program_index.setdefault(
+                pair.program, len(program_index)
+            )
+            machine_ids[p] = machine_index.setdefault(
+                pair.machine, len(machine_index)
+            )
+        return cls(
+            features=features,
+            theta=theta,
+            cardinalities=cardinalities,
+            program_ids=program_ids,
+            machine_ids=machine_ids,
+            program_index=program_index,
+            machine_index=machine_index,
+        )
+
+    def candidate_mask(
+        self, exclude_program, exclude_machine
+    ) -> np.ndarray:
+        """Boolean keep-mask over pairs — the §5.1.1 leave-one-out rule.
+
+        An exclusion key the model never trained on matches nothing, like
+        the scalar ``!=`` filter.
+        """
+        keep = np.ones(self.program_ids.shape[0], dtype=bool)
+        if exclude_program is not None:
+            pid = self.program_index.get(exclude_program, -1)
+            keep &= self.program_ids != pid
+        if exclude_machine is not None:
+            mid = self.machine_index.get(exclude_machine, -1)
+            keep &= self.machine_ids != mid
+        return keep
+
+
+def stack_state_arrays(model_state: dict) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a :meth:`get_state` payload's pairs into ``(features, theta)``.
+
+    Works on the raw JSON state — no :class:`FlagSpace` required — so the
+    registry can build its ranking-ready sidecar at promote time without
+    reconstructing the model.
+    """
+    entries = model_state["pairs"]
+    if not entries:
+        raise ValueError("cannot stack an empty model state")
+    features = np.array(
+        [entry["features"] for entry in entries], dtype=float
+    )
+    v_max = max(len(probs) for probs in entries[0]["theta"])
+    n_dims = len(entries[0]["theta"])
+    theta = np.zeros((len(entries), n_dims, v_max), dtype=float)
+    for p, entry in enumerate(entries):
+        for d, probs in enumerate(entry["theta"]):
+            theta[p, d, : len(probs)] = probs
+    return features, theta
+
+
+def query_distances(features: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Euclidean distances ``[B, P]``, bit-identical to the scalar
+    ``np.linalg.norm(pair.features - query)`` per element."""
+    diff = queries[:, None, :] - features[None, :, :]
+    return np.sqrt(_row_dots(diff))
+
+
+def stable_topk(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k smallest per row — exactly
+    ``np.argsort(row, kind="stable")[:k]``, via argpartition + tie repair.
+
+    ``argpartition`` is O(P) but breaks pivot ties arbitrarily; rows are
+    repaired by taking every strictly-smaller entry plus the first
+    (index-order) entries equal to the k-th value, then stably re-sorting
+    the k survivors by distance.
+    """
+    n_rows, n_cols = distances.shape
+    if k >= n_cols:
+        return np.argsort(distances, axis=1, kind="stable")[:, :k]
+    part = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    kth = np.take_along_axis(distances, part, axis=1).max(axis=1)
+    less = distances < kth[:, None]
+    equal = distances == kth[:, None]
+    need = k - less.sum(axis=1)
+    take = equal & (np.cumsum(equal, axis=1) <= need[:, None])
+    selected = less | take  # exactly k True per row, index-ascending
+    indices = np.nonzero(selected)[1].reshape(n_rows, k)
+    chosen = np.take_along_axis(distances, indices, axis=1)
+    order = np.argsort(chosen, axis=1, kind="stable")
+    return np.take_along_axis(indices, order, axis=1)
+
+
+def _mixture_theta(
+    theta_nn: np.ndarray, nearest: np.ndarray, beta: float
+) -> np.ndarray:
+    """Softmax-weighted mixture over the K axis, one elementwise op at a
+    time in the scalar reference's order.
+
+    ``theta_nn`` is ``[B, K, D, V]``, ``nearest`` the matching ``[B, K]``
+    distances; returns the mixed ``[B, D, V]`` theta.
+    """
+    d_min = nearest.min(axis=1, keepdims=True)
+    weights = np.exp((-beta) * (nearest - d_min))
+    weights = weights / weights.sum(axis=1, keepdims=True)
+
+    # IIDDistribution.mix starts from python sum(weights) — a sequential
+    # left fold — then accumulates (w/total) * theta term by term.  Both
+    # loops are replicated verbatim; a numpy reduce or einsum would
+    # re-associate the additions and drift in the last ulp.
+    n_k = weights.shape[1]
+    total = weights[:, 0].copy()
+    for j in range(1, n_k):
+        total = total + weights[:, j]
+    scale = weights / total[:, None]
+    mixed = np.zeros(
+        (theta_nn.shape[0],) + theta_nn.shape[2:], dtype=theta_nn.dtype
+    )
+    for j in range(n_k):
+        mixed += scale[:, j, None, None] * theta_nn[:, j]
+    return mixed
+
+
+def predict_distributions(
+    tensors: PredictorTensors,
+    queries: np.ndarray,
+    candidate_indices: Sequence[np.ndarray],
+    k: int,
+    beta: float,
+    space: FlagSpace,
+) -> list[IIDDistribution]:
+    """One kernel pass of ``predict_distribution`` for a whole batch.
+
+    ``queries`` is the ``[B, F]`` matrix of normalised, masked query
+    vectors; ``candidate_indices[b]`` the pair indices query ``b`` may
+    consult (exclusions already applied by the predictor's audit gate).
+    """
+    queries = np.ascontiguousarray(np.asarray(queries, dtype=float))
+    n_queries = queries.shape[0]
+    distances = query_distances(tensors.features, queries)
+
+    masked = np.full(distances.shape, np.inf)
+    effective_k = np.empty(n_queries, dtype=np.intp)
+    for b, indices in enumerate(candidate_indices):
+        if indices.size == 0:
+            raise RuntimeError("no training pairs left after exclusions")
+        masked[b, indices] = distances[b, indices]
+        effective_k[b] = min(k, indices.size)
+
+    out: list[IIDDistribution | None] = [None] * n_queries
+    for kk in np.unique(effective_k):
+        rows = np.nonzero(effective_k == kk)[0]
+        sub = masked[rows]
+        top = stable_topk(sub, int(kk))
+        nearest = np.take_along_axis(sub, top, axis=1)
+        mixed = _mixture_theta(tensors.theta[top], nearest, beta)
+        for g, b in enumerate(rows):
+            # Views into the mixed tensor, not copies: the distribution
+            # treats theta as read-only, and the values are bit-equal to
+            # the scalar mix either way.
+            out[int(b)] = IIDDistribution(
+                space=space,
+                theta=[
+                    mixed[g, d, :cardinality]
+                    for d, cardinality in enumerate(tensors.cardinalities)
+                ],
+            )
+    return out  # type: ignore[return-value]
+
+
+def nearest_neighbours(
+    tensors: PredictorTensors,
+    query: np.ndarray,
+    candidate_indices: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The K nearest pair indices and distances for one query."""
+    distances = query_distances(
+        tensors.features, np.asarray(query, dtype=float)[None, :]
+    )[0]
+    masked = np.full(distances.shape, np.inf)
+    masked[candidate_indices] = distances[candidate_indices]
+    kk = min(k, int(candidate_indices.size))
+    top = stable_topk(masked[None, :], kk)[0]
+    return top, masked[top]

@@ -59,16 +59,34 @@ def compute_fold(
         if training.code_features is not None
         else None
     )
+    machines = list(training.machines)
+    counters_row = [
+        PerfCounters(*training.counters[p, m, :]) for m in range(len(machines))
+    ]
+    if hasattr(predictor, "predict_many"):
+        # One ranking-kernel pass per fold; duck-typed predictors (the
+        # joint-vote ablation) keep the scalar loop.
+        predicted_row = predictor.predict_many(
+            counters_row,
+            machines,
+            exclude_programs=[program] * len(machines),
+            exclude_machines=machines,
+            code_features=[code_features] * len(machines),
+        )
+    else:
+        predicted_row = [
+            predictor.predict(
+                counters,
+                machine,
+                exclude_program=program,
+                exclude_machine=machine,
+                code_features=code_features,
+            )
+            for counters, machine in zip(counters_row, machines)
+        ]
     rows = []
     for m, machine in enumerate(training.machines):
-        counters = PerfCounters(*training.counters[p, m, :])
-        predicted = predictor.predict(
-            counters,
-            machine,
-            exclude_program=program,
-            exclude_machine=machine,
-            code_features=code_features,
-        )
+        predicted = predicted_row[m]
         rows.append(
             FoldRow(
                 machine=m,

@@ -58,7 +58,20 @@ def _make_handler(
             self.wfile.write(body)
 
         def _read_body(self) -> dict:
-            length = int(self.headers.get("Content-Length", 0) or 0)
+            raw_length = self.headers.get("Content-Length")
+            if raw_length is None or not raw_length.strip():
+                length = 0
+            else:
+                try:
+                    length = int(raw_length.strip())
+                except ValueError:
+                    raise ServiceError(
+                        f"bad Content-Length header: {raw_length.strip()!r}"
+                    )
+                if length < 0:
+                    raise ServiceError(
+                        f"bad Content-Length header: {raw_length.strip()!r}"
+                    )
             if length > MAX_BODY_BYTES:
                 raise ServiceError("request body too large", status=413)
             raw = self.rfile.read(length) if length else b""

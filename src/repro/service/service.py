@@ -24,7 +24,11 @@ from typing import Iterator
 
 from repro.api import ModelRegistry, RegistryError, Session
 from repro.api.backends import resolve_backend
-from repro.api.facets import profile_with_model, ranked_prediction
+from repro.api.facets import (
+    profile_with_model,
+    ranked_prediction,
+    ranked_prediction_many,
+)
 from repro.compiler.flags import FlagSetting
 from repro.machine.params import MicroArch
 from repro.service.jobs import Job, JobManager
@@ -204,7 +208,9 @@ class PredictionService:
             if cached is None:
                 try:
                     predictor, entry = self.registry.load(
-                        promoted, space=self.session.flag_space
+                        promoted,
+                        space=self.session.flag_space,
+                        vectorize=self.session.vectorize,
                     )
                 except RegistryError as error:
                     raise ServiceError(str(error), status=503)
@@ -362,20 +368,26 @@ class PredictionService:
         for backend, indices in profile_groups.items():
             self._profile_group(model, backend, [parsed[i] for i in indices])
 
-        results = []
-        for index, entry in enumerate(parsed):
-            try:
-                ranked = ranked_prediction(
-                    model,
-                    entry["counters"],
-                    entry["machine"],
-                    entry["top"],
-                    code_features=entry["code_features"],
-                    program=entry["program"],
-                )
-            except ValueError as error:
-                raise ServiceError(f"items[{index}]: {error}")
-            results.append(ranked.payload())
+        try:
+            # One ranking-kernel pass for the whole batch; each result is
+            # bit-identical to the corresponding single-request payload.
+            ranked_batch = ranked_prediction_many(model, parsed)
+        except ValueError:
+            # Re-run item by item only to attribute the failure.
+            for index, entry in enumerate(parsed):
+                try:
+                    ranked_prediction(
+                        model,
+                        entry["counters"],
+                        entry["machine"],
+                        entry["top"],
+                        code_features=entry["code_features"],
+                        program=entry["program"],
+                    )
+                except ValueError as error:
+                    raise ServiceError(f"items[{index}]: {error}")
+            raise
+        results = [ranked.payload() for ranked in ranked_batch]
         return {"model": info, "results": results}
 
     def _profile_group(self, model, backend, entries: list[dict]) -> None:

@@ -216,12 +216,75 @@ class TestGoodSettings:
         with pytest.raises(ValueError):
             good_settings_by_runtime([o3_setting()], np.array([1.0]), quantile=0.0)
 
+    @pytest.mark.parametrize(
+        ("size", "expected"),
+        [(10, 1), (30, 2), (50, 3), (70, 4), (90, 5), (110, 6)],
+    )
+    def test_half_up_rounding_at_boundaries(self, size, expected):
+        """n * 0.05 lands exactly on .5 for these sizes: the cut must round
+        half up, monotonically in n.  Banker's rounding kept 2 of 50 but 4
+        of 70 — this is the regression test for that bug."""
+        settings_list = DEFAULT_SPACE.sample_many(size, seed=2)
+        runtimes = np.linspace(1.0, 2.0, size)
+        good = good_settings_by_runtime(settings_list, runtimes, quantile=0.05)
+        assert good == settings_list[:expected]
+
+    def test_paper_grid_cut_is_unchanged(self):
+        """400 × 0.05 = 20 exactly — no .5 tie, so the paper-default grid
+        (and every golden fingerprint fitted from it) is unaffected by the
+        half-up tie rule."""
+        settings_list = DEFAULT_SPACE.sample_many(400, seed=3)
+        runtimes = np.linspace(1.0, 2.0, 400)
+        good = good_settings_by_runtime(settings_list, runtimes, quantile=0.05)
+        assert len(good) == 20
+        assert good == settings_list[:20]
+
+    def test_preset_scales_unaffected_by_tie_rule(self):
+        """None of the preset grids lands on a .5 boundary at the default
+        quantile, so the rounding fix cannot move any cached dataset or
+        golden fingerprint."""
+        from repro.core.predictor import DEFAULT_QUANTILE
+        from repro.experiments.config import PRESETS
+
+        for scale in PRESETS.values():
+            n = scale.n_settings
+            half_up = max(1, math.floor(n * DEFAULT_QUANTILE + 0.5))
+            bankers = max(1, int(round(n * DEFAULT_QUANTILE)))
+            assert half_up == bankers, scale.name
+
 
 class TestPredictor:
     def test_unfitted_predict_raises(self):
         predictor = OptimisationPredictor()
         with pytest.raises(RuntimeError):
             predictor.predict(_counters(), xscale())
+
+    @pytest.mark.parametrize("vectorize", [True, False])
+    def test_unfitted_neighbours_raises_cleanly(self, vectorize):
+        """Regression: neighbours() used to skip the is_fitted guard and
+        die with AttributeError on the missing normaliser."""
+        predictor = OptimisationPredictor(vectorize=vectorize)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            predictor.neighbours(_counters(), xscale())
+
+    @pytest.mark.parametrize("vectorize", [True, False])
+    def test_neighbours_exhausted_candidates_raise(self, tiny_data, vectorize):
+        """Regression: neighbours() used to return [] silently where
+        predict_distribution raises when exclusions empty the candidates."""
+        training = tiny_data.training
+        predictor = OptimisationPredictor(
+            extended=training.extended, vectorize=vectorize
+        ).fit(training)
+        only = training.program_names[0]
+        predictor._pairs = [
+            pair for pair in predictor._pairs if pair.program == only
+        ]
+        predictor._refresh_tensors()
+        counters = PerfCounters(*training.counters[0, 0, :])
+        with pytest.raises(RuntimeError, match="no training pairs"):
+            predictor.neighbours(
+                counters, tiny_data.machines[0], exclude_program=only
+            )
 
     def test_invalid_k_rejected(self):
         with pytest.raises(ValueError):

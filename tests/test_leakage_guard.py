@@ -3,10 +3,12 @@
 §5.1.1's claim is that the model never consults training data from the
 held-out program *or* the held-out machine.  Exclusion happens at query
 time through the predictor's single candidate gate
-(:meth:`OptimisationPredictor._candidates`), so instrumenting that gate
-observes every training row any prediction can possibly touch.  These
-tests record every consulted row across a full leave-one-out sweep and a
-full pipeline fold and assert the held-out rows never appear.
+(:meth:`OptimisationPredictor._candidate_indices`) — the scalar and
+vectorised prediction paths both select through it, exactly once per
+query — so instrumenting that gate observes every training row any
+prediction can possibly touch.  These tests record every consulted row
+across a full leave-one-out sweep and a full pipeline fold and assert
+the held-out rows never appear.
 """
 
 from __future__ import annotations
@@ -27,16 +29,19 @@ class RecordingPredictor(OptimisationPredictor):
         #: one entry per prediction: (exclusions, consulted rows)
         self.queries: list[tuple[str | None, object, list[tuple[str, object]]]] = []
 
-    def _candidates(self, exclude_program, exclude_machine):
-        candidates = super()._candidates(exclude_program, exclude_machine)
+    def _candidate_indices(self, exclude_program, exclude_machine):
+        indices = super()._candidate_indices(exclude_program, exclude_machine)
         self.queries.append(
             (
                 exclude_program,
                 exclude_machine,
-                [(pair.program, pair.machine) for pair in candidates],
+                [
+                    (self._pairs[int(i)].program, self._pairs[int(i)].machine)
+                    for i in indices
+                ],
             )
         )
-        return candidates
+        return indices
 
 
 def _assert_no_leakage(queries):

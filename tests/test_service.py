@@ -175,6 +175,47 @@ class TestHttpLayer:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
 
+    def _raw_post(self, base_url: str, content_length: str, body: bytes = b""):
+        """POST /predict with an explicit (possibly malformed) Content-Length
+        — urllib would refuse to send one, so drop to http.client."""
+        import http.client
+        from urllib.parse import urlsplit
+
+        host = urlsplit(base_url).netloc
+        connection = http.client.HTTPConnection(host, timeout=30)
+        try:
+            connection.putrequest("POST", "/predict")
+            connection.putheader("Content-Length", content_length)
+            connection.endheaders()
+            if body:
+                connection.send(body)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("header", ["banana", "12abc", "1.5", "-5"])
+    def test_malformed_content_length_is_400(self, base_url, header):
+        """Regression: a non-integer or negative Content-Length used to
+        escape as ValueError and surface as a 500 internal error."""
+        status, body = self._raw_post(base_url, header)
+        assert status == 400
+        assert b"bad Content-Length" in body
+
+    def test_oversized_content_length_is_413(self, base_url):
+        from repro.service.server import MAX_BODY_BYTES
+
+        status, body = self._raw_post(base_url, str(MAX_BODY_BYTES + 1))
+        assert status == 413
+        assert b"too large" in body
+
+    def test_empty_content_length_still_means_no_body(self, base_url):
+        """The pre-fix behaviour for an absent/empty header is preserved:
+        an empty body parses as {} and fails validation, not framing."""
+        status, body = self._raw_post(base_url, "")
+        assert status == 400
+        assert b"Content-Length" not in body
+
     def test_predict_http_is_bit_identical_to_facet(
         self, base_url, deployment
     ):
