@@ -33,6 +33,7 @@ from repro.api.facets import (
 )
 from repro.api.persistence import load_predictor, save_predictor
 from repro.api.registry import (
+    DEFAULT_CHANNEL,
     ModelRegistry,
     ModelVersion,
     RegistryError,
@@ -52,6 +53,7 @@ from repro.api.types import (
 __all__ = [
     "AnalyticBackend",
     "BACKENDS",
+    "DEFAULT_CHANNEL",
     "DataFacet",
     "EXECUTORS",
     "EvalFacet",

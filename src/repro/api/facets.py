@@ -26,7 +26,12 @@ from repro.autotune.core import run_strategy
 from repro.autotune.guided import GUIDED_STRATEGIES
 from repro.autotune.tournament import TournamentResult, run_tournament
 from repro.api.persistence import load_predictor, save_predictor
-from repro.api.registry import ModelRegistry, ModelVersion, registry_root
+from repro.api.registry import (
+    DEFAULT_CHANNEL,
+    ModelRegistry,
+    ModelVersion,
+    registry_root,
+)
 from repro.api.types import (
     EvaluationRequest,
     EvaluationResult,
@@ -840,8 +845,14 @@ class ModelsFacet(_Facet):
         registry: ModelRegistry | str | Path | None = None,
         metadata: dict | None = None,
         promote: bool = False,
+        channel: str = DEFAULT_CHANNEL,
     ) -> ModelVersion:
-        """Register the fitted model as a new immutable registry version."""
+        """Register the fitted model as a new immutable registry version.
+
+        With ``promote=True`` the new version is promoted on ``channel``
+        (the default channel unless named), so one registry can serve a
+        model per scale or per machine space side by side.
+        """
         session = self._session
         if session.model is None:
             raise RuntimeError("no model to register: call models.fit() first")
@@ -854,19 +865,24 @@ class ModelsFacet(_Facet):
             fingerprint=session.model_fingerprint,
             metadata=merged,
             promote=promote,
+            channel=channel,
         )
 
     def load_registered(
         self,
         version: int | None = None,
         registry: ModelRegistry | str | Path | None = None,
+        channel: str = DEFAULT_CHANNEL,
     ) -> ModelVersion:
-        """Load a registry model (default: the promoted one) into the session."""
+        """Load a registry model (default: the channel's promoted one)."""
         session = self._session
         if not isinstance(registry, ModelRegistry):
             registry = self.registry(registry)
         predictor, entry = registry.load(
-            version, space=session.flag_space, vectorize=session.vectorize
+            version,
+            space=session.flag_space,
+            vectorize=session.vectorize,
+            channel=channel,
         )
         session.model = predictor
         session.model_fingerprint = entry.fingerprint

@@ -8,7 +8,9 @@ model files plus one mutable promotion pointer::
             v0001.json       # {"format", "version", "digest", "fingerprint",
             v0002.json       #  "metadata", "model": <predictor state>}
             ...
-        promoted.json        # {"format", "current": 2, "history": [1]}
+        promoted.json        # {"format", "current": 2, "history": [1],
+                             #  "channels": {"default": {"current": 2,
+                             #               "history": [1]}, "tiny": {...}}}
 
 Model files follow the store-shard rules: written atomically, content
 digested, and never rewritten — :meth:`ModelRegistry.register` allocates
@@ -16,6 +18,15 @@ the next free version with an exclusive link, so two sessions registering
 concurrently can never collide on a version or corrupt each other.  The
 promotion pointer is a single atomically-replaced JSON document carrying
 its own history, which is what :meth:`ModelRegistry.rollback` pops.
+
+Promotion is per-**channel**: every channel (``"default"`` unless named)
+has its own current version and rollback history, so one registry can
+serve e.g. a model per scale or per machine space, each promoted and
+rolled back independently — the prediction service routes requests to a
+channel at request time.  The pointer document mirrors the default
+channel under the legacy top-level ``current``/``history`` keys, so
+pointers written before channels existed read back as the default
+channel and old readers keep working.
 
 This replaces the ad-hoc ``save_model(path)`` / ``load_model(path)``
 lifecycle for deployments: the prediction service always serves the
@@ -44,7 +55,23 @@ from repro.store.store import atomic_write_text, tmp_sibling
 #: Registry file schema version; bump on incompatible layout changes.
 REGISTRY_FORMAT = 1
 
+#: The promotion channel used when none is named.
+DEFAULT_CHANNEL = "default"
+
+#: Channel names stay filesystem/JSON-friendly and unambiguous.
+_CHANNEL_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
 _MODEL_FILE = re.compile(r"^v(\d{4,})\.json$")
+
+
+def validate_channel(channel: str) -> str:
+    """Check a promotion channel name (returns it for chaining)."""
+    if not isinstance(channel, str) or not _CHANNEL_NAME.match(channel):
+        raise RegistryError(
+            f"bad channel name {channel!r}: use 1-64 letters, digits, "
+            "'_', '.', or '-' (starting with a letter or digit)"
+        )
+    return channel
 
 
 class RegistryError(RuntimeError):
@@ -86,9 +113,16 @@ class ModelVersion:
     fingerprint: str | None
     metadata: dict = field(default_factory=dict)
     promoted: bool = False
+    #: Channels currently promoting this version (empty when none do).
+    channels: tuple[str, ...] = ()
 
     def describe(self) -> str:
-        marker = " *promoted*" if self.promoted else ""
+        if self.channels and set(self.channels) != {DEFAULT_CHANNEL}:
+            marker = f" *promoted:{','.join(self.channels)}*"
+        elif self.promoted:
+            marker = " *promoted*"
+        else:
+            marker = ""
         fingerprint = self.fingerprint or "-"
         scale = self.metadata.get("scale", "-")
         return (
@@ -141,17 +175,21 @@ class ModelRegistry:
 
     def list(self) -> list[ModelVersion]:
         """Provenance of every registered model, ascending by version."""
-        promoted = self.promoted_version()
+        channels = self.channels()
         entries = []
         for version in self.versions():
             payload = self._read_entry(version)
+            promoting = tuple(
+                sorted(name for name, current in channels.items() if current == version)
+            )
             entries.append(
                 ModelVersion(
                     version=version,
                     digest=payload["digest"],
                     fingerprint=payload.get("fingerprint"),
                     metadata=dict(payload.get("metadata", {})),
-                    promoted=(version == promoted),
+                    promoted=bool(promoting),
+                    channels=promoting,
                 )
             )
         return entries
@@ -182,6 +220,7 @@ class ModelRegistry:
         fingerprint: str | None = None,
         metadata: dict | None = None,
         promote: bool = False,
+        channel: str = DEFAULT_CHANNEL,
     ) -> ModelVersion:
         """Store a fitted predictor as the next version; never overwrites.
 
@@ -219,7 +258,7 @@ class ModelRegistry:
             metadata=dict(payload["metadata"]),
         )
         if promote:
-            return self.promote(version)
+            return self.promote(version, channel=channel)
         return entry
 
     # -------------------------------------------------------------- promotion
@@ -242,24 +281,79 @@ class ModelRegistry:
                 fcntl.flock(handle, fcntl.LOCK_UN)
 
     def _read_promoted(self) -> dict:
+        """The pointer document, normalised to its per-channel form.
+
+        Pointers written before channels existed carry only the legacy
+        top-level ``current``/``history``; those read back as the default
+        channel, so nothing is migrated on disk until the next promote.
+        """
         path = self._promoted_path()
         if not path.exists():
-            return {"format": REGISTRY_FORMAT, "current": None, "history": []}
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            raise RegistryError(f"promotion pointer is unreadable: {error}")
-        if payload.get("format") != REGISTRY_FORMAT:
-            raise RegistryError(
-                f"promotion pointer uses format {payload.get('format')!r}, "
-                f"expected {REGISTRY_FORMAT}"
-            )
+            payload = {"format": REGISTRY_FORMAT, "current": None, "history": []}
+        else:
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                raise RegistryError(f"promotion pointer is unreadable: {error}")
+            if payload.get("format") != REGISTRY_FORMAT:
+                raise RegistryError(
+                    f"promotion pointer uses format {payload.get('format')!r}, "
+                    f"expected {REGISTRY_FORMAT}"
+                )
+        channels = {
+            name: {
+                "current": (
+                    None if state.get("current") is None else int(state["current"])
+                ),
+                "history": [int(item) for item in state.get("history", [])],
+            }
+            for name, state in payload.get("channels", {}).items()
+        }
+        if DEFAULT_CHANNEL not in channels and (
+            payload.get("current") is not None or payload.get("history")
+        ):
+            channels[DEFAULT_CHANNEL] = {
+                "current": (
+                    None if payload.get("current") is None else int(payload["current"])
+                ),
+                "history": [int(item) for item in payload.get("history", [])],
+            }
+        payload["channels"] = channels
         return payload
 
-    def promoted_version(self) -> int | None:
-        """The currently promoted version (``None`` when nothing is)."""
-        current = self._read_promoted().get("current")
-        return None if current is None else int(current)
+    def _write_promoted_locked(self, channels: dict) -> None:
+        """Atomically replace the pointer; caller holds the pointer lock.
+
+        The default channel is mirrored into the legacy top-level keys so
+        pre-channel readers of ``promoted.json`` keep working.
+        """
+        default = channels.get(DEFAULT_CHANNEL, {"current": None, "history": []})
+        atomic_write_text(
+            self._promoted_path(),
+            json.dumps(
+                {
+                    "format": REGISTRY_FORMAT,
+                    "current": default["current"],
+                    "history": default["history"],
+                    "channels": channels,
+                }
+            ),
+        )
+
+    def promoted_version(self, channel: str = DEFAULT_CHANNEL) -> int | None:
+        """The channel's promoted version (``None`` when nothing is)."""
+        state = self._read_promoted()["channels"].get(channel)
+        if state is None:
+            return None
+        return state["current"]
+
+    def channels(self) -> dict[str, int]:
+        """Every channel with a promotion, mapped to its current version."""
+        return {
+            name: state["current"]
+            for name, state in self._read_promoted()["channels"].items()
+            if state["current"] is not None
+        }
 
     # ------------------------------------------------------- ranking sidecar
     def _write_arrays(self, version: int, payload: dict) -> None:
@@ -304,61 +398,55 @@ class ModelRegistry:
         except Exception:  # noqa: BLE001 - any corruption means "rebuild"
             return None
 
-    def promote(self, version: int) -> ModelVersion:
-        """Point deployments at ``version`` (verified first)."""
+    def promote(
+        self, version: int, channel: str = DEFAULT_CHANNEL
+    ) -> ModelVersion:
+        """Point the channel's deployments at ``version`` (verified first)."""
+        validate_channel(channel)
         entry = self._read_entry(version)  # digest-verified, must exist
         self._write_arrays(version, entry)
         with self._pointer_lock():
-            state = self._read_promoted()
-            previous = state.get("current")
-            history = [int(item) for item in state.get("history", [])]
-            if previous is not None and int(previous) != version:
-                history.append(int(previous))
-            atomic_write_text(
-                self._promoted_path(),
-                json.dumps(
-                    {
-                        "format": REGISTRY_FORMAT,
-                        "current": version,
-                        "history": history,
-                    }
-                ),
+            channels = self._read_promoted()["channels"]
+            state = channels.setdefault(
+                channel, {"current": None, "history": []}
             )
+            previous = state["current"]
+            if previous is not None and previous != version:
+                state["history"].append(previous)
+            state["current"] = version
+            self._write_promoted_locked(channels)
         return ModelVersion(
             version=version,
             digest=entry["digest"],
             fingerprint=entry.get("fingerprint"),
             metadata=dict(entry.get("metadata", {})),
             promoted=True,
+            channels=(channel,),
         )
 
-    def rollback(self) -> ModelVersion:
-        """Re-promote the previously promoted version."""
+    def rollback(self, channel: str = DEFAULT_CHANNEL) -> ModelVersion:
+        """Re-promote the channel's previously promoted version."""
+        validate_channel(channel)
         with self._pointer_lock():
-            state = self._read_promoted()
-            history = [int(item) for item in state.get("history", [])]
-            if not history:
+            channels = self._read_promoted()["channels"]
+            state = channels.get(channel, {"current": None, "history": []})
+            if not state["history"]:
                 raise RegistryError(
-                    "nothing to roll back to: promotion history is empty"
+                    f"nothing to roll back to on channel {channel!r}: "
+                    "promotion history is empty"
                 )
-            version = history.pop()
+            version = state["history"].pop()
             entry = self._read_entry(version)
-            atomic_write_text(
-                self._promoted_path(),
-                json.dumps(
-                    {
-                        "format": REGISTRY_FORMAT,
-                        "current": version,
-                        "history": history,
-                    }
-                ),
-            )
+            state["current"] = version
+            channels[channel] = state
+            self._write_promoted_locked(channels)
         return ModelVersion(
             version=version,
             digest=entry["digest"],
             fingerprint=entry.get("fingerprint"),
             metadata=dict(entry.get("metadata", {})),
             promoted=True,
+            channels=(channel,),
         )
 
     # ----------------------------------------------------------------- loading
@@ -367,8 +455,9 @@ class ModelRegistry:
         version: int | None = None,
         space: FlagSpace = DEFAULT_SPACE,
         vectorize: bool = True,
+        channel: str = DEFAULT_CHANNEL,
     ) -> tuple[OptimisationPredictor, ModelVersion]:
-        """Rebuild a registered predictor (default: the promoted one).
+        """Rebuild a registered predictor (default: the channel's promoted one).
 
         With ``vectorize=True`` the model comes back ranking-ready: the
         promote-time sidecar arrays are attached when present (and valid
@@ -376,15 +465,16 @@ class ModelRegistry:
         the pairs — bit-identical either way.
         """
         if version is None:
-            version = self.promoted_version()
+            version = self.promoted_version(channel)
             if version is None:
                 raise RegistryError(
-                    f"registry {self.root} has no promoted model; "
-                    "register one with promote=True or call promote()"
+                    f"registry {self.root} has no promoted model on channel "
+                    f"{channel!r}; register one with promote=True or call "
+                    "promote()"
                 )
             promoted = True
         else:
-            promoted = version == self.promoted_version()
+            promoted = version in self.channels().values()
         payload = self._read_entry(version)
         predictor = OptimisationPredictor.from_state(
             payload["model"], space=space, vectorize=False
@@ -406,6 +496,13 @@ class ModelRegistry:
             fingerprint=payload.get("fingerprint"),
             metadata=dict(payload.get("metadata", {})),
             promoted=promoted,
+            channels=tuple(
+                sorted(
+                    name
+                    for name, current in self.channels().items()
+                    if current == version
+                )
+            ),
         )
 
     def render(self) -> str:
@@ -417,6 +514,6 @@ class ModelRegistry:
             return "\n".join(lines)
         for entry in entries:
             lines.append(f"  {entry.describe()}")
-        if self.promoted_version() is None:
+        if not self.channels():
             lines.append("  no model promoted yet")
         return "\n".join(lines)

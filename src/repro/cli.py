@@ -39,7 +39,13 @@ import sys
 import time
 from pathlib import Path
 
-from repro.api import ModelRegistry, RegistryError, Session, registry_root
+from repro.api import (
+    DEFAULT_CHANNEL,
+    ModelRegistry,
+    RegistryError,
+    Session,
+    registry_root,
+)
 from repro.evalrun import resolve_artifacts, variants_for_artifacts
 from repro.experiments.dataset import adopt_legacy_cache, store_root
 from repro.store import StoreError
@@ -319,16 +325,18 @@ def _train(args, parser) -> int:
     started = time.time()
     session.models.fit(progress=progress)
     registry = _registry(args)
+    channel = args.channel if args.channel is not None else DEFAULT_CHANNEL
     entry = session.models.register(
-        registry=registry, promote=not args.no_promote
+        registry=registry, promote=not args.no_promote, channel=channel
     )
     print(
         f"fitted on scale {session.scale.name!r} in {time.time() - started:.1f}s "
         f"(training fingerprint {session.models.fingerprint})"
     )
     verb = "registered and promoted" if not args.no_promote else "registered"
+    suffix = f" (channel {channel!r})" if not args.no_promote else ""
     print(f"{verb} model v{entry.version:04d} (digest {entry.digest}) "
-          f"in {registry.root}")
+          f"in {registry.root}{suffix}")
     return 0
 
 
@@ -340,15 +348,19 @@ def _registry(args) -> ModelRegistry:
 def _models(args, parser) -> int:
     """The ``models`` subcommand: registry inventory, promote, rollback."""
     registry = _registry(args)
+    channel = args.channel if args.channel is not None else DEFAULT_CHANNEL
     try:
         if args.promote is not None:
-            entry = registry.promote(args.promote)
-            print(f"promoted model v{entry.version:04d} (digest {entry.digest})")
+            entry = registry.promote(args.promote, channel=channel)
+            print(
+                f"promoted model v{entry.version:04d} (digest {entry.digest}) "
+                f"on channel {channel!r}"
+            )
         elif args.rollback:
-            entry = registry.rollback()
+            entry = registry.rollback(channel=channel)
             print(
                 f"rolled back: v{entry.version:04d} (digest {entry.digest}) "
-                "is promoted again"
+                f"is promoted again on channel {channel!r}"
             )
         print(registry.render())
     except RegistryError as error:
@@ -367,7 +379,16 @@ def _serve(args, parser) -> int:
         executor=args.executor,
         cache_dir=args.cache_dir,
     )
-    service = PredictionService(session, registry=_registry(args))
+    service = PredictionService(
+        session,
+        registry=_registry(args),
+        channel=args.channel if args.channel is not None else DEFAULT_CHANNEL,
+        batching=not args.no_batch,
+        batch_window=args.batch_window if args.batch_window is not None else 0.0,
+        max_inflight=(
+            args.max_inflight if args.max_inflight is not None else 64
+        ),
+    )
     model = service.model_info()
     if model is None:
         print(
@@ -378,7 +399,8 @@ def _serve(args, parser) -> int:
     else:
         print(
             f"serving model v{model['version']:04d} "
-            f"(digest {model['digest']}) from {service.registry.root}"
+            f"(digest {model['digest']}) from {service.registry.root} "
+            f"(channel {service.channel!r})"
         )
     log = None if args.quiet else lambda message: print(f"  .. {message}")
     return serve(service, host=args.host, port=args.port, log=log)
@@ -581,6 +603,14 @@ def main(argv: list[str] | None = None) -> int:
         help="with 'models': re-promote the previously promoted version",
     )
     parser.add_argument(
+        "--channel",
+        default=None,
+        help=(
+            "with 'train'/'models'/'serve': promotion channel to promote "
+            "to, roll back, or serve from (default: 'default')"
+        ),
+    )
+    parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="with 'serve': bind address (default: 127.0.0.1)",
@@ -590,6 +620,30 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=8181,
         help="with 'serve': TCP port, 0 for an ephemeral one (default: 8181)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="with 'serve': disable /predict request micro-batching",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        help=(
+            "with 'serve': seconds the micro-batcher waits to gather "
+            "concurrent /predict requests (default: 0 — coalesce only "
+            "requests already queued)"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "with 'serve': bound on concurrently-served /predict + "
+            "/evaluate requests before shedding 429s (default: 64)"
+        ),
     )
     parser.add_argument(
         "--budget",
@@ -694,6 +748,19 @@ def main(argv: list[str] | None = None) -> int:
         args.host != "127.0.0.1" or args.port != 8181
     ):
         parser.error("--host/--port only apply to the 'serve' command")
+    if args.experiments != ["serve"] and (
+        args.no_batch or args.batch_window is not None or args.max_inflight is not None
+    ):
+        parser.error(
+            "--no-batch/--batch-window/--max-inflight only apply to the "
+            "'serve' command"
+        )
+    if args.experiments not in (["train"], ["models"], ["serve"]) and (
+        args.channel is not None
+    ):
+        parser.error(
+            "--channel only applies to the 'train', 'models', and 'serve' commands"
+        )
     if args.experiments == ["run"]:
         return _run_store(args, parser)
     if args.experiments == ["status"]:

@@ -5,13 +5,15 @@ The paper's end product as a long-running process: a
 :class:`~repro.api.ModelRegistry` it serves from, and
 :func:`make_server`/:func:`serve` put a stdlib-only HTTP front end on it
 (``repro-experiments serve``).  See :mod:`repro.service.server` for the
-route table and :mod:`repro.service.jobs` for the background
+route table and :mod:`repro.service.jobs` for the restart-safe
 protocol-job queue behind ``/jobs``.
 """
 
-from repro.service.jobs import Job, JobManager
+from repro.service.jobs import Job, JobJournal, JobManager, jobs_root
 from repro.service.server import make_server, serve
 from repro.service.service import (
+    LoadLimiter,
+    PredictBatcher,
     PredictionService,
     ServiceError,
     ServiceMetrics,
@@ -20,11 +22,15 @@ from repro.service.service import (
 
 __all__ = [
     "Job",
+    "JobJournal",
     "JobManager",
+    "LoadLimiter",
+    "PredictBatcher",
     "PredictionService",
     "ServiceError",
     "ServiceMetrics",
     "canonical_json",
+    "jobs_root",
     "make_server",
     "serve",
 ]

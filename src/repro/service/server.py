@@ -48,12 +48,19 @@ def _make_handler(
             if log is not None:
                 log(f"{self.address_string()} {format % args}")
 
-        def _send_json(self, payload: dict, status: int = 200) -> None:
+        def _send_json(
+            self,
+            payload: dict,
+            status: int = 200,
+            headers: dict[str, str] | None = None,
+        ) -> None:
             body = canonical_json(payload).encode()
             self._response_started = True
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -74,7 +81,22 @@ def _make_handler(
                     )
             if length > MAX_BODY_BYTES:
                 raise ServiceError("request body too large", status=413)
-            raw = self.rfile.read(length) if length else b""
+            # rfile.read(n) may return short on a socket — loop until the
+            # declared length arrives, and call out a client that closed
+            # mid-body instead of mis-reporting its half-payload as bad JSON.
+            chunks: list[bytes] = []
+            remaining = length
+            while remaining:
+                chunk = self.rfile.read(remaining)
+                if not chunk:
+                    received = length - remaining
+                    raise ServiceError(
+                        f"truncated body: Content-Length {length} but only "
+                        f"{received} bytes received"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            raw = b"".join(chunks)
             if not raw:
                 return {}
             try:
@@ -94,7 +116,15 @@ def _make_handler(
             except ServiceError as exc:
                 error = True
                 if not self._response_started:
-                    self._send_json({"error": str(exc)}, status=exc.status)
+                    headers = {}
+                    if exc.retry_after is not None:
+                        # Load shedding: tell the client when to come back.
+                        headers["Retry-After"] = str(
+                            max(1, round(exc.retry_after))
+                        )
+                    self._send_json(
+                        {"error": str(exc)}, status=exc.status, headers=headers
+                    )
             except (BrokenPipeError, ConnectionResetError):
                 error = True  # client went away mid-stream; nothing to send
             except Exception as exc:  # noqa: BLE001 - the service must not die
@@ -111,6 +141,15 @@ def _make_handler(
                     endpoint, time.perf_counter() - started, error=error
                 )
 
+        def _not_found(self, path: str) -> None:
+            # Unknown routes flow through _timed under one shared "404"
+            # bucket, so /metrics counts scanner noise and typo'd paths
+            # instead of silently dropping them.
+            def respond():
+                raise ServiceError(f"no route {path!r}", status=404)
+
+            self._timed("404", respond)
+
         # ------------------------------------------------------------- routes
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
             path = self.path.split("?", 1)[0]
@@ -119,7 +158,7 @@ def _make_handler(
             elif path == "/metrics":
                 self._timed(
                     "/metrics",
-                    lambda: self._send_json(service.metrics.snapshot()),
+                    lambda: self._send_json(service.metrics_snapshot()),
                 )
             elif path == "/jobs":
                 self._timed(
@@ -137,7 +176,7 @@ def _make_handler(
                         lambda: self._send_json(service.job_snapshot(job_id)),
                     )
             else:
-                self._send_json({"error": f"no route {path!r}"}, status=404)
+                self._not_found(path)
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
             path = self.path.split("?", 1)[0]
@@ -148,13 +187,20 @@ def _make_handler(
             }
             handler = routes.get(path)
             if handler is None:
-                self._send_json({"error": f"no route {path!r}"}, status=404)
+                self._not_found(path)
                 return
 
             def respond():
                 payload = self._read_body()
                 status = 202 if path == "/jobs" else 200
-                self._send_json(handler(payload), status=status)
+                if path in ("/predict", "/evaluate"):
+                    # The expensive endpoints sit behind the in-flight
+                    # budget; overload sheds with 429 + Retry-After.
+                    with service.limiter.admit():
+                        result = handler(payload)
+                else:
+                    result = handler(payload)
+                self._send_json(result, status=status)
 
             self._timed(path, respond)
 
