@@ -1,0 +1,240 @@
+"""Cluster-tier benchmark: lease-based worker fleets vs a single worker.
+
+PR 9's ``repro.cluster`` drains one shard store with N coordinator-free
+worker processes claiming units through ``O_EXCL`` lease files.  This
+harness measures the wall time for a fleet of real ``repro-experiments
+worker`` subprocesses (the exact deployment code path, startup cost
+included) to build one dataset at each worker count, certifies every
+drain is **byte-identical** to a serial in-process build, and then runs
+the failure drill: four workers with one ``kill -9``'d mid-build, gated
+on byte-identity *and* on no unit being computed twice (the stale lease
+is reclaimed; completed units are skipped on the post-claim re-check).
+
+Two modes:
+
+* ``PYTHONPATH=src python benchmarks/bench_cluster.py [--smoke]
+  [--out BENCH_cluster.json] [--min-speedup X]`` — emits the
+  machine-readable ``BENCH_cluster.json`` artifact CI uploads;
+  ``--min-speedup`` gates the 4-worker/1-worker wall-time ratio (CI
+  passes 2.5; the ratio needs >= 4 cores to mean anything, so the
+  artifact records ``cpu_count`` alongside it).
+* The correctness gates (byte-identity, kill-one-worker convergence,
+  no-double-count) always apply, whatever the core count.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster import run_local_workers
+from repro.experiments.config import PRESETS
+from repro.experiments.dataset import experiment_store, grid_for_scale
+from repro.programs.mibench import mibench_program
+from repro.store import ExperimentRunner, ExperimentStore
+
+#: Stale-lease horizon for the kill drill: short enough that survivors
+#: reclaim the victim's unit within the bench, long enough that a slow
+#: CI runner's live workers never look dead.
+KILL_TTL = 5.0
+
+
+def _scale(name: str):
+    return PRESETS[name]
+
+
+def _reference_fingerprint(scale) -> str:
+    """Serial in-process ground truth every fleet drain must reproduce."""
+    grid = grid_for_scale(scale)
+    programs = [mibench_program(name) for name in scale.programs]
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ExperimentStore(grid, root=Path(tmp) / "store")
+        ExperimentRunner(store, programs=programs).run()
+        return store.fingerprint()
+
+
+def _worker_args(scale, cache: str) -> list[str]:
+    return ["--scale", scale.name, "--cache-dir", cache, "--quiet"]
+
+
+def _drain(scale, workers: int) -> tuple[float, str]:
+    """One fleet drain into a fresh cache; (wall seconds, fingerprint)."""
+    with tempfile.TemporaryDirectory() as cache:
+        started = time.perf_counter()
+        codes = run_local_workers(_worker_args(scale, cache), workers)
+        elapsed = time.perf_counter() - started
+        if any(codes):
+            raise SystemExit(f"worker exited non-zero: {codes}")
+        store = experiment_store(scale, cache)
+        return elapsed, store.fingerprint()
+
+
+def _timed_fleet(scale, workers: int, rounds: int, reference: str) -> dict:
+    """Best-of-``rounds`` fleet wall time, byte-identity checked per round."""
+    times = []
+    for _ in range(rounds):
+        elapsed, fingerprint = _drain(scale, workers)
+        if fingerprint != reference:
+            raise SystemExit(
+                f"{workers}-worker drain drifted from the serial build: "
+                f"{fingerprint} != {reference}"
+            )
+        times.append(elapsed)
+    return {
+        "workers": workers,
+        "best_seconds": min(times),
+        "mean_seconds": sum(times) / len(times),
+        "rounds": rounds,
+    }
+
+
+def _kill_drill(scale, reference: str) -> dict:
+    """Four workers, one ``kill -9``'d mid-build; survivors must converge.
+
+    Gates, in order of importance:
+
+    * the store completes and its fingerprint matches the serial build
+      (the victim's in-flight partial write was never visible);
+    * no unit is counted as computed by two workers — the sum of the
+      per-worker progress counters never exceeds the shard count, i.e.
+      reclaim re-simulates only the unit the victim was holding, never
+      one it finished (the post-claim ``is_done`` re-check).
+    """
+    grid = grid_for_scale(scale)
+    with tempfile.TemporaryDirectory() as cache:
+        args = _worker_args(scale, cache) + ["--lease-ttl", str(KILL_TTL)]
+        command = [sys.executable, "-m", "repro.cli", "worker", *args]
+        procs = [subprocess.Popen(command) for _ in range(4)]
+        victim = procs[0]
+
+        # Kill the victim once the build is demonstrably mid-flight:
+        # some shards done, some still pending.
+        deadline = time.monotonic() + 300.0
+        killed = False
+        while time.monotonic() < deadline:
+            try:
+                store = experiment_store(scale, cache)
+            except Exception:
+                time.sleep(0.05)  # manifest not pinned yet
+                continue
+            done = len(store.completed_keys())
+            if 0 < done < grid.n_shards and victim.poll() is None:
+                victim.send_signal(signal.SIGKILL)
+                killed = victim.wait(timeout=30) is not None
+                break
+            if done >= grid.n_shards:
+                break  # too fast to kill mid-run: the drill degrades
+            time.sleep(0.02)
+
+        codes = [proc.wait(timeout=600) for proc in procs[1:]]
+        if any(codes):
+            raise SystemExit(f"surviving worker exited non-zero: {codes}")
+
+        store = experiment_store(scale, cache)
+        if not store.is_complete():
+            raise SystemExit("fleet did not converge after the kill")
+        fingerprint = store.fingerprint()
+        if fingerprint != reference:
+            raise SystemExit(
+                f"post-kill store drifted from the serial build: "
+                f"{fingerprint} != {reference}"
+            )
+
+        counted = 0
+        progress_dir = Path(store.root) / "cluster" / "progress"
+        for path in sorted(progress_dir.glob("*.json")):
+            counted += int(json.loads(path.read_text())["units"])
+        # <= : a unit computed twice would push the sum past the shard
+        # count.  (The sum can fall one short if the victim died between
+        # its shard write and its progress write — the shard itself is
+        # still there exactly once, as the fingerprint gate just proved.)
+        if counted > grid.n_shards:
+            raise SystemExit(
+                f"double-counted units after reclaim: {counted} computed "
+                f"for {grid.n_shards} shards"
+            )
+        return {
+            "workers": 4,
+            "scale": scale.name,
+            "lease_ttl": KILL_TTL,
+            "killed_mid_run": killed,
+            "units_total": grid.n_shards,
+            "units_counted": counted,
+            "no_double_count": True,
+            "byte_identical": True,
+        }
+
+
+# --------------------------------------------------------------- artifact
+def emit_artifact(out: str, smoke: bool) -> dict:
+    sys.path.insert(0, str(Path(__file__).parent))
+    from perfjson import emit
+
+    import os
+
+    # Fleet timing needs enough work per worker to amortise interpreter
+    # startup (~1 s/worker), so it runs the 105-shard `default` grid;
+    # the kill drill only needs a mid-flight window, so the 24-shard
+    # `quick` grid keeps it cheap.
+    scale_name, worker_counts, rounds = (
+        ("default", (1, 4), 1) if smoke else ("default", (1, 2, 4), 2)
+    )
+    scale = _scale(scale_name)
+    grid = grid_for_scale(scale)
+    reference = _reference_fingerprint(scale)
+
+    fleets = {
+        str(workers): _timed_fleet(scale, workers, rounds, reference)
+        for workers in worker_counts
+    }
+    kill_scale = _scale("quick")
+    kill = _kill_drill(kill_scale, _reference_fingerprint(kill_scale))
+
+    best_single = fleets["1"]["best_seconds"]
+    best_four = fleets[str(max(worker_counts))]["best_seconds"]
+    payload = {
+        "benchmark": "cluster",
+        "smoke": smoke,
+        "scale": scale_name,
+        "shards": grid.n_shards,
+        "cpu_count": os.cpu_count(),
+        "fleets": fleets,
+        "speedup": best_single / best_four,
+        "byte_identical": True,
+        "kill_drill": kill,
+    }
+    emit(out, payload)
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_cluster.json")
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the max-fleet/1-worker speedup lands below "
+        "this (only meaningful with >= as many cores as workers)",
+    )
+    args = parser.parse_args()
+    result = emit_artifact(args.out, args.smoke)
+    print(
+        f"cluster bench: {result['shards']} shards, "
+        f"speedup {result['speedup']:.2f}x at "
+        f"{max(int(k) for k in result['fleets'])} workers "
+        f"({result['cpu_count']} cores), kill drill "
+        f"{'killed mid-run' if result['kill_drill']['killed_mid_run'] else 'degraded (build too fast)'}"
+    )
+    if args.min_speedup is not None and result["speedup"] < args.min_speedup:
+        raise SystemExit(
+            f"speedup {result['speedup']:.2f}x below floor {args.min_speedup}x"
+        )

@@ -637,6 +637,7 @@ class DataFacet(_Facet):
         max_shards: int | None = None,
         progress: Callable[[str], None] | None = None,
         store: ExperimentStore | None = None,
+        lease_ttl: float | None = None,
     ) -> int:
         """Advance a scale's store by up to ``max_shards`` shards.
 
@@ -644,7 +645,8 @@ class DataFacet(_Facet):
         repeatedly — across processes, interruptions, and executors — and
         the store converges on the same bit-identical dataset.  Pass an
         already-opened ``store`` to avoid re-sampling the grid.  Returns
-        the number of shards computed by this call.
+        the number of shards computed by this call.  ``lease_ttl`` only
+        matters for the ``cluster`` executor (lease staleness horizon).
         """
         session = self._session
         if store is None:
@@ -655,6 +657,7 @@ class DataFacet(_Facet):
             jobs=session.jobs,
             executor=session.executor,
             vectorize=session.vectorize,
+            lease_ttl=lease_ttl,
         )
         return runner.run(max_shards=max_shards, progress=progress)
 
@@ -941,6 +944,7 @@ class ProtocolFacet(_Facet):
         store: FoldStore | None = None,
         on_fold: Callable[[FoldKey, int, int], None] | None = None,
         formats: Sequence[str] = ("md", "json"),
+        lease_ttl: float | None = None,
     ) -> ProtocolRun:
         """Run the full paper protocol — resumably — and render the artifact.
 
@@ -964,6 +968,8 @@ class ProtocolFacet(_Facet):
                 service streams live NDJSON progress events from.
             formats: report representations; add ``"svg"`` for the
                 headline speedup figure (needs the ``base`` variant).
+            lease_ttl: ``cluster`` executor only — seconds without a
+                heartbeat before a fold lease counts as stale.
         """
         session = self._session
         data = session.data.dataset(scale, progress=progress)
@@ -980,6 +986,7 @@ class ProtocolFacet(_Facet):
             executor=session.executor if executor is None else executor,
             compiler=session.compiler,
             vectorize=session.vectorize,
+            lease_ttl=lease_ttl,
         )
         stats = pipeline.run(
             variants=variant_keys,

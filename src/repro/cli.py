@@ -102,6 +102,7 @@ COMMANDS = (
     "models",
     "serve",
     "tournament",
+    "worker",
 )
 
 #: The CI smoke-gate grid: small enough for every push, deterministic
@@ -149,6 +150,10 @@ def list_experiments() -> str:
         "[--seeds N] [--tolerance F] [--programs p,q] [--machines N] "
         "[--smoke] [--out DIR]"
     )
+    lines.append(
+        "distributed builds: repro-experiments worker [--protocol] "
+        "[--workers N] [--lease-ttl S] [--max-units N] (see README)"
+    )
     return "\n".join(lines)
 
 
@@ -184,7 +189,10 @@ def _run_store(args, parser) -> int:
     progress = None if args.quiet else lambda message: print(f"  .. {message}")
     started = time.time()
     done = session.data.build(
-        max_shards=args.max_shards, progress=progress, store=store
+        max_shards=args.max_shards,
+        progress=progress,
+        store=store,
+        lease_ttl=args.lease_ttl,
     )
     final = store.status()
     print(
@@ -242,6 +250,7 @@ def _report(args, parser) -> int:
         progress=progress,
         store=store,
         formats=formats,
+        lease_ttl=args.lease_ttl,
     )
     stats = outcome.stats
     print(
@@ -310,6 +319,120 @@ def _store_status(args) -> int:
             f"delete the directory and rebuild with: "
             f"repro-experiments run --scale {session.scale.name}"
         )
+        return 0
+    try:
+        from repro.cluster import DEFAULT_LEASE_TTL, store_cluster_status
+
+        cluster = store_cluster_status(
+            session.data.store(),
+            args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
+        )
+    except (StoreError, OSError, json.JSONDecodeError):
+        cluster = None  # cluster dir unreadable; the store view stands alone
+    if cluster is not None:
+        print(cluster.render())
+    return 0
+
+
+def _worker(args, parser) -> int:
+    """The ``worker`` subcommand: one lease-coordinated cluster worker.
+
+    Each invocation is one worker draining a scale's shard store (the
+    default) or its protocol fold store (``--protocol``) through the
+    shared lease table under the store directory — run any number of
+    them, on one host (``--workers N`` spawns a local fleet) or on many
+    over a shared filesystem, and they converge on the byte-identical
+    serial result.
+    """
+    from repro.cluster import (
+        DEFAULT_LEASE_TTL,
+        ClusterWorker,
+        FoldQueue,
+        ShardQueue,
+        run_local_workers,
+    )
+
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        parser.error("--lease-ttl must be positive")
+    if args.max_units is not None and args.max_units < 1:
+        parser.error("--max-units must be >= 1")
+    if args.only is not None and not args.protocol:
+        parser.error("--only with 'worker' requires --protocol")
+    lease_ttl = (
+        args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
+    )
+
+    if args.workers is not None and args.workers > 1:
+        # A local fleet: N independent single-worker subprocesses, the
+        # same code path a multi-host deployment runs per host.
+        child_args = ["--scale", args.scale, "--lease-ttl", str(lease_ttl)]
+        if args.cache_dir is not None:
+            child_args += ["--cache-dir", args.cache_dir]
+        if args.protocol:
+            child_args.append("--protocol")
+        if args.only is not None:
+            child_args += ["--only", args.only]
+        if args.max_units is not None:
+            child_args += ["--max-units", str(args.max_units)]
+        if args.quiet:
+            child_args.append("--quiet")
+        codes = run_local_workers(child_args, args.workers)
+        failed = [code for code in codes if code != 0]
+        if failed:
+            print(
+                f"{len(failed)}/{len(codes)} workers exited non-zero",
+                file=sys.stderr,
+            )
+        return max(codes)
+
+    session = Session(args.scale, cache_dir=args.cache_dir)
+    progress = None if args.quiet else lambda message: print(f"  .. {message}")
+    if args.protocol:
+        data = session.data.dataset(progress=progress)
+        store = session.protocol.store(data)
+        variant_keys = None
+        if args.only is not None:
+            variant_keys = variants_for_artifacts(
+                resolve_artifacts(args.only),
+                with_code=data.training.code_features is not None,
+            )
+        from repro.evalrun import EvaluationPipeline
+
+        pipeline = EvaluationPipeline(
+            data.training,
+            data.programs,
+            store,
+            compiler=session.compiler,
+            vectorize=session.vectorize,
+        )
+        queue = FoldQueue(pipeline, variant_keys)
+    else:
+        from repro.store import ExperimentRunner
+
+        store = session.data.store()
+        runner = ExperimentRunner(
+            store,
+            compiler=session.compiler,
+            vectorize=session.vectorize,
+        )
+        queue = ShardQueue(runner)
+    worker = ClusterWorker(
+        queue,
+        worker_id=args.worker_id,
+        lease_ttl=lease_ttl,
+        max_units=args.max_units,
+        progress=progress,
+    )
+    report = worker.run()
+    remaining = len(queue.pending_units())
+    print(
+        f"worker {report.worker_id}: {report.units_completed} "
+        f"{queue.kind} units computed, {report.units_skipped} skipped, "
+        f"{report.simulation_calls} simulations in "
+        f"{report.wall_seconds:.1f}s ({remaining} still pending)"
+    )
     return 0
 
 
@@ -519,8 +642,9 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', 'list', "
             "the dataset-store commands 'run' and 'status', 'report' for "
-            "the full resumable paper artifact, or the deployment commands "
-            "'train', 'models', and 'serve'"
+            "the full resumable paper artifact, 'worker' for a "
+            "lease-coordinated distributed worker, or the deployment "
+            "commands 'train', 'models', and 'serve'"
         ),
     )
     parser.add_argument(
@@ -542,8 +666,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--executor",
         default="auto",
-        choices=("auto", "serial", "thread", "process"),
-        help="batch strategy for dataset builds (default: auto)",
+        choices=("auto", "serial", "thread", "process", "cluster"),
+        help=(
+            "batch strategy for dataset builds; 'cluster' claims work "
+            "through the shared lease table so concurrent invocations "
+            "cooperate (default: auto)"
+        ),
     )
     parser.add_argument(
         "--resume",
@@ -695,6 +823,44 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--protocol",
+        action="store_true",
+        help=(
+            "with 'worker': drain the scale's protocol fold store "
+            "instead of its dataset shard store"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="with 'worker': spawn a local fleet of N worker processes",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help=(
+            "with 'worker'/'run'/'report'/'status': seconds without a "
+            "heartbeat before a cluster lease counts as stale "
+            "(default: 60)"
+        ),
+    )
+    parser.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="with 'worker': compute at most this many units, then stop",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help=(
+            "with 'worker': stable worker identity for leases and "
+            "progress (default: host-pid-token)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     args = parser.parse_args(argv)
@@ -712,10 +878,30 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-shards only applies to the 'run' command")
     if args.experiments not in (["run"], ["report"]) and args.resume:
         parser.error("--resume only applies to the 'run' and 'report' commands")
-    if args.experiments != ["report"] and (
-        args.max_folds is not None or args.only is not None
+    if args.experiments != ["report"] and args.max_folds is not None:
+        parser.error("--max-folds only applies to the 'report' command")
+    if args.experiments not in (["report"], ["worker"]) and args.only is not None:
+        parser.error("--only only applies to the 'report' and 'worker' commands")
+    if args.experiments != ["worker"] and (
+        args.protocol
+        or args.workers is not None
+        or args.max_units is not None
+        or args.worker_id is not None
     ):
-        parser.error("--max-folds/--only only apply to the 'report' command")
+        parser.error(
+            "--protocol/--workers/--max-units/--worker-id only apply to "
+            "the 'worker' command"
+        )
+    if args.experiments not in (
+        ["worker"],
+        ["run"],
+        ["report"],
+        ["status"],
+    ) and args.lease_ttl is not None:
+        parser.error(
+            "--lease-ttl only applies to the 'worker', 'run', 'report', "
+            "and 'status' commands"
+        )
     if args.experiments not in (["report"], ["tournament"]) and args.out is not None:
         parser.error(
             "--out only applies to the 'report' and 'tournament' commands"
@@ -775,6 +961,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(args, parser)
     if args.experiments == ["tournament"]:
         return _tournament(args, parser)
+    if args.experiments == ["worker"]:
+        return _worker(args, parser)
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in names if name not in EXPERIMENTS]

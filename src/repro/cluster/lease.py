@@ -1,0 +1,243 @@
+"""The lease table: atomic claim files under the shared store directory.
+
+One lease file per in-flight work unit, created with ``O_CREAT|O_EXCL``
+so exactly one worker wins a claim whatever filesystem the store lives
+on (the only primitive required of the shared directory is exclusive
+create plus atomic rename — POSIX local disks and NFSv3+ both provide
+them).  The file's mtime is the heartbeat: the owner touches it while
+computing, and a lease whose mtime is older than the table's TTL is
+*stale* — its owner is presumed dead and any peer may reclaim the unit.
+
+Reclaim is a two-step steal: rename the stale lease to a worker-unique
+tombstone (exactly one contender wins the rename; losers see
+``FileNotFoundError`` and back off), then recreate the claim with
+``O_EXCL``.  A heartbeat racing the steal — e.g. an owner that was only
+paused, or clock skew across hosts — can leave two workers computing the
+same unit; that is explicitly safe, because completed units are
+idempotent to re-execute (append-only stores, first complete write wins,
+identical bytes).
+
+The table's ``table.json`` records the manifest fingerprint of the work
+grid it coordinates.  A worker joining with a different fingerprint —
+i.e. pointed at the same shared directory but holding a different grid —
+fails fast with both fingerprints rather than quietly interleaving two
+experiments' units.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store.store import atomic_write_text
+
+#: Lease table schema version; bump on incompatible layout changes.
+LEASE_FORMAT = 1
+
+#: Seconds without a heartbeat before a lease counts as stale.  Shard
+#: and fold units complete in well under a minute at every scale, and
+#: the owner heartbeats several times per TTL, so expiry means the
+#: worker is genuinely gone — not merely slow.
+DEFAULT_LEASE_TTL = 60.0
+
+
+class ClusterError(RuntimeError):
+    """A cluster directory is unusable: wrong manifest, version, or corrupt."""
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """One live or stale claim, as seen by a scan."""
+
+    unit: str
+    owner: str
+    age: float
+    stale: bool
+
+
+class LeaseTable:
+    """Atomic, heartbeat-expiring unit claims for one work grid.
+
+    Args:
+        root: the lease directory (created if missing), conventionally
+            ``<store root>/cluster/leases`` so leases travel with the
+            store they coordinate.
+        fingerprint: the manifest fingerprint of the work grid; a table
+            already on disk for a different fingerprint raises
+            :class:`ClusterError` immediately.
+        ttl: seconds without a heartbeat before a lease is stale.
+    """
+
+    META_NAME = "table.json"
+    SUFFIX = ".lease"
+    #: Conventional lease directory name under a store's cluster root.
+    LEASE_SUBDIR = "leases"
+
+    def __init__(self, root: str | Path, fingerprint: str, ttl: float = DEFAULT_LEASE_TTL):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive: {ttl}")
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.ttl = float(ttl)
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / self.META_NAME
+        meta = self._read_meta(meta_path)
+        if meta is None:
+            atomic_write_text(
+                meta_path,
+                json.dumps(
+                    {"format": LEASE_FORMAT, "fingerprint": fingerprint},
+                    indent=1,
+                ),
+            )
+            # Two same-fingerprint creators race benignly (identical
+            # bytes); re-read so a different-fingerprint loser still
+            # fails fast instead of trusting its own write.
+            meta = self._read_meta(meta_path)
+        if meta is None:
+            raise ClusterError(f"unreadable lease table at {meta_path}")
+        if meta.get("format") != LEASE_FORMAT:
+            raise ClusterError(
+                f"lease table at {self.root} uses format "
+                f"{meta.get('format')!r}, expected {LEASE_FORMAT}"
+            )
+        if meta.get("fingerprint") != fingerprint:
+            raise ClusterError(
+                f"lease table at {self.root} coordinates a different "
+                f"manifest ({meta.get('fingerprint')} != {fingerprint}); "
+                f"every worker of one cluster must hold the same grid"
+            )
+
+    @staticmethod
+    def _read_meta(path: Path) -> dict | None:
+        try:
+            meta = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    # --------------------------------------------------------------- claims
+    def _path(self, unit: str) -> Path:
+        return self.root / f"{unit}{self.SUFFIX}"
+
+    def _age(self, path: Path) -> float | None:
+        """Seconds since the lease's last heartbeat, or ``None`` if gone."""
+        try:
+            return max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            return None
+
+    def try_claim(self, unit: str, owner: str) -> bool:
+        """Claim one unit, reclaiming it first if its lease is stale.
+
+        Returns True exactly when this caller now holds the lease.  The
+        claim file is created with ``O_EXCL``, so two racing claimants
+        cannot both win; a stale lease is stolen through an atomic
+        rename that likewise has a single winner.
+        """
+        path = self._path(unit)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            age = self._age(path)
+            if age is None:
+                # Released (or stolen) between our open and stat: one
+                # retry — if it is contended again, let the peer have it.
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    return False
+            elif age <= self.ttl:
+                return False  # live lease: the owner is still heartbeating
+            elif not self._steal(path):
+                return False
+            else:
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    return False  # a third worker landed first; back off
+        with os.fdopen(fd, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "owner": owner,
+                        "host": socket.gethostname(),
+                        "pid": os.getpid(),
+                        "claimed_at": time.time(),
+                    }
+                )
+            )
+        return True
+
+    def _steal(self, path: Path) -> bool:
+        """Remove a stale lease; exactly one contender succeeds."""
+        tomb = path.with_name(
+            f"{path.name}.{os.getpid()}.{os.urandom(3).hex()}.reclaim"
+        )
+        try:
+            os.rename(path, tomb)
+        except OSError:
+            return False  # a peer released or stole it first
+        try:
+            os.unlink(tomb)
+        except OSError:
+            pass
+        return True
+
+    def owner_of(self, unit: str) -> str | None:
+        """The recorded owner, or ``None`` when unleased/unreadable."""
+        try:
+            payload = json.loads(self._path(unit).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        owner = payload.get("owner") if isinstance(payload, dict) else None
+        return owner if isinstance(owner, str) else None
+
+    def heartbeat(self, unit: str, owner: str) -> bool:
+        """Refresh the lease's mtime; False when the lease was lost.
+
+        A lost heartbeat (lease stolen after an expiry, or released by a
+        racing duplicate) is informational, not fatal: the unit is
+        idempotent, so the current execution may finish — its write is
+        either the first (and wins) or identical to the winner's.
+        """
+        path = self._path(unit)
+        if self.owner_of(unit) != owner:
+            return False
+        try:
+            os.utime(path)
+        except OSError:
+            return False
+        return True
+
+    def release(self, unit: str, owner: str) -> bool:
+        """Drop a claim this owner holds; False when it was not ours."""
+        if self.owner_of(unit) != owner:
+            return False
+        try:
+            os.unlink(self._path(unit))
+        except OSError:
+            return False
+        return True
+
+    def leases(self) -> list[LeaseInfo]:
+        """Every current claim, fresh and stale, sorted by unit."""
+        found = []
+        for path in sorted(self.root.glob(f"*{self.SUFFIX}")):
+            age = self._age(path)
+            if age is None:
+                continue  # released between glob and stat
+            unit = path.name[: -len(self.SUFFIX)]
+            found.append(
+                LeaseInfo(
+                    unit=unit,
+                    owner=self.owner_of(unit) or "<unknown>",
+                    age=age,
+                    stale=age > self.ttl,
+                )
+            )
+        return found

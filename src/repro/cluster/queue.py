@@ -1,0 +1,132 @@
+"""Work queues: the shard and fold grids viewed as claimable units.
+
+A :class:`WorkQueue` adapts one resumable store to the worker loop's
+tiny contract — enumerate pending unit ids, check whether one is done,
+execute one — with the store's own manifest as the only source of truth.
+Unit ids are the stores' existing shard stems (``p0000-c0000`` for
+dataset shards, ``variant--program`` for protocol folds), so lease
+files, progress records, and store files all speak the same names.
+
+Queues never talk to the lease table; the worker composes the two.  Both
+queues require an on-disk store (``root`` set) — the shared directory is
+what multiple processes coordinate through.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Protocol, Sequence
+
+from repro.cluster.lease import ClusterError
+
+#: Subdirectory of a store root holding all cluster state (leases,
+#: per-worker progress, the aggregated progress.json artifact).
+CLUSTER_DIR = "cluster"
+
+
+class WorkQueue(Protocol):
+    """What the worker loop needs from a unit source."""
+
+    #: Manifest fingerprint every worker of one cluster must share.
+    fingerprint: str
+    #: Shared directory for leases and progress, under the store root.
+    cluster_root: Path
+    #: Human label for progress lines ("shard" / "fold").
+    kind: str
+
+    def total_units(self) -> int: ...
+
+    def pending_units(self) -> list[str]: ...
+
+    def is_done(self, unit: str) -> bool: ...
+
+    def execute(self, unit: str) -> dict: ...
+
+
+def _require_root(store, what: str) -> Path:
+    if store.root is None:
+        raise ClusterError(
+            f"cluster execution needs an on-disk {what} (root=None is "
+            f"memory-only; workers coordinate through the store directory)"
+        )
+    return Path(store.root)
+
+
+class ShardQueue:
+    """Dataset-build units: one store shard per unit.
+
+    Wraps an :class:`~repro.store.runner.ExperimentRunner` — the queue
+    computes each claimed shard through the runner's serial path (the
+    memoising compiler still amortises compilation across one worker's
+    consecutive same-program shards) and checkpoints it via the store's
+    ordinary atomic, append-only write.
+    """
+
+    kind = "shard"
+
+    def __init__(self, runner):
+        self.runner = runner
+        self.store = runner.store
+        root = _require_root(self.store, "experiment store")
+        self.fingerprint = self.store.grid.fingerprint()
+        self.cluster_root = root / CLUSTER_DIR
+        self._keys = {key.stem(): key for key in self.store.grid.shard_keys()}
+        self._settings = list(self.store.grid.settings)
+        self._work = runner._shard_function("serial")
+
+    def total_units(self) -> int:
+        return self.store.grid.n_shards
+
+    def pending_units(self) -> list[str]:
+        return [key.stem() for key in self.store.pending_keys()]
+
+    def is_done(self, unit: str) -> bool:
+        return self.store.has_shard(self._keys[unit])
+
+    def execute(self, unit: str) -> dict:
+        key = self._keys[unit]
+        arrays = self._work(
+            self.runner._work_item(key, self._settings, "serial")
+        )
+        self.store.write_shard(key, arrays)
+        return {"simulation_calls": arrays[0].size}
+
+
+class FoldQueue:
+    """Protocol-run units: one leave-one-out fold per unit.
+
+    Wraps an :class:`~repro.evalrun.pipeline.EvaluationPipeline`; each
+    claimed fold runs through the pipeline's serial fold path (shared
+    oracle, predictors fitted once per variant per worker) and lands via
+    the fold store's atomic write.  ``variants`` restricts the queue to a
+    subset of variant keys, mirroring the pipeline's ``--only`` path.
+    """
+
+    kind = "fold"
+
+    def __init__(self, pipeline, variants: Sequence[str] | None = None):
+        self.pipeline = pipeline
+        self.store = pipeline.store
+        root = _require_root(self.store, "fold store")
+        self.fingerprint = self.store.protocol_fingerprint
+        self.cluster_root = root / CLUSTER_DIR
+        self.variants = list(variants) if variants is not None else None
+        self._keys = {
+            key.stem(): key for key in self.store.fold_keys(self.variants)
+        }
+
+    def total_units(self) -> int:
+        return len(self._keys)
+
+    def pending_units(self) -> list[str]:
+        return [key.stem() for key in self.store.pending_keys(self.variants)]
+
+    def is_done(self, unit: str) -> bool:
+        return self.store.has_fold(self._keys[unit])
+
+    def execute(self, unit: str) -> dict:
+        record, sims, hits = self.pipeline._compute_fold_local(
+            self._keys[unit]
+        )
+        self.store.write_fold(record)
+        return {"simulation_calls": sims, "store_hits": hits}

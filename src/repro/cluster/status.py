@@ -1,0 +1,271 @@
+"""Cluster observability: per-worker progress files and the status view.
+
+Each worker keeps one small JSON file of cumulative counters under
+``<cluster root>/progress/``, rewritten atomically after every unit, so
+observers never see torn state and a dead worker's last numbers survive
+it.  :meth:`ClusterStatus.collect` joins three sources — the store
+manifest (total/completed units), the lease table (in-flight and
+orphaned claims), and the progress files (per-worker throughput) — into
+one snapshot, rendered by ``repro-experiments status`` and written as
+the ``progress.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.lease import LeaseInfo, LeaseTable
+from repro.store.store import atomic_write_text
+
+PROGRESS_DIR = "progress"
+PROGRESS_ARTIFACT = "progress.json"
+
+#: A worker whose progress file is older than this many lease TTLs is
+#: shown as gone rather than live.
+LIVE_WITHIN_TTLS = 2.0
+
+
+def _safe_name(worker_id: str) -> str:
+    return re.sub(r"[^\w.-]", "_", worker_id)
+
+
+class ClusterProgress:
+    """One worker's cumulative counters, crash-safe on disk."""
+
+    def __init__(self, cluster_root: Path, worker_id: str):
+        self.worker_id = worker_id
+        self.path = (
+            Path(cluster_root) / PROGRESS_DIR / f"{_safe_name(worker_id)}.json"
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.started = time.time()
+
+    def write(
+        self,
+        units: int,
+        skipped: int,
+        simulation_calls: int,
+        store_hits: int,
+        done: bool = False,
+    ) -> None:
+        atomic_write_text(
+            self.path,
+            json.dumps(
+                {
+                    "worker": self.worker_id,
+                    "units": units,
+                    "skipped": skipped,
+                    "simulation_calls": simulation_calls,
+                    "store_hits": store_hits,
+                    "started": self.started,
+                    "updated": time.time(),
+                    "done": done,
+                }
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """One worker's progress-file counters, as seen by a status scan."""
+
+    worker_id: str
+    units: int
+    skipped: int
+    simulation_calls: int
+    store_hits: int
+    elapsed: float  # seconds from its first unit to its last update
+    idle: float  # seconds since its last update
+    done: bool  # the worker exited cleanly (drained or hit its cap)
+
+    @property
+    def units_per_sec(self) -> float:
+        return self.units / self.elapsed if self.elapsed > 0 else 0.0
+
+
+@dataclass
+class ClusterStatus:
+    """A joined snapshot of one cluster: store × leases × workers."""
+
+    kind: str  # "shard" or "fold"
+    fingerprint: str
+    total_units: int
+    completed_units: int
+    leases: list[LeaseInfo]
+    workers: list[WorkerStats]
+    lease_ttl: float
+
+    @property
+    def live_leases(self) -> list[LeaseInfo]:
+        return [lease for lease in self.leases if not lease.stale]
+
+    @property
+    def orphaned_leases(self) -> list[LeaseInfo]:
+        """Stale claims: their owner stopped heartbeating mid-unit."""
+        return [lease for lease in self.leases if lease.stale]
+
+    @property
+    def live_workers(self) -> list[WorkerStats]:
+        horizon = LIVE_WITHIN_TTLS * self.lease_ttl
+        return [
+            worker
+            for worker in self.workers
+            if not worker.done and worker.idle <= horizon
+        ]
+
+    @classmethod
+    def collect(cls, queue, ttl: float) -> "ClusterStatus":
+        """Snapshot a queue's cluster state; never creates directories.
+
+        Safe to call on a store no worker has ever touched — the lease
+        and progress scans simply come back empty.
+        """
+        cluster_root = Path(queue.cluster_root)
+        leases: list[LeaseInfo] = []
+        lease_root = cluster_root / LeaseTable.LEASE_SUBDIR
+        if lease_root.is_dir():
+            leases = LeaseTable(lease_root, queue.fingerprint, ttl).leases()
+        workers: list[WorkerStats] = []
+        progress_root = cluster_root / PROGRESS_DIR
+        if progress_root.is_dir():
+            now = time.time()
+            for path in sorted(progress_root.glob("*.json")):
+                try:
+                    payload = json.loads(path.read_text())
+                    workers.append(
+                        WorkerStats(
+                            worker_id=str(payload["worker"]),
+                            units=int(payload["units"]),
+                            skipped=int(payload["skipped"]),
+                            simulation_calls=int(payload["simulation_calls"]),
+                            store_hits=int(payload["store_hits"]),
+                            elapsed=max(
+                                0.0,
+                                float(payload["updated"])
+                                - float(payload["started"]),
+                            ),
+                            idle=max(0.0, now - float(payload["updated"])),
+                            done=bool(payload.get("done")),
+                        )
+                    )
+                except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                    continue  # half-written by a concurrent writer, or foreign
+        total = queue.total_units()
+        return cls(
+            kind=queue.kind,
+            fingerprint=queue.fingerprint,
+            total_units=total,
+            completed_units=total - len(queue.pending_units()),
+            leases=leases,
+            workers=workers,
+            lease_ttl=ttl,
+        )
+
+    # -------------------------------------------------------------- artifact
+    def payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "total_units": self.total_units,
+            "completed_units": self.completed_units,
+            "leased_units": [lease.unit for lease in self.live_leases],
+            "orphaned_units": [lease.unit for lease in self.orphaned_leases],
+            "lease_ttl": self.lease_ttl,
+            "workers": [
+                {
+                    "worker": worker.worker_id,
+                    "units": worker.units,
+                    "skipped": worker.skipped,
+                    "simulation_calls": worker.simulation_calls,
+                    "store_hits": worker.store_hits,
+                    "units_per_sec": worker.units_per_sec,
+                    "idle_seconds": worker.idle,
+                    "done": worker.done,
+                }
+                for worker in self.workers
+            ],
+        }
+
+    def write_artifact(self, cluster_root: str | Path) -> Path:
+        """Write the ``progress.json`` artifact next to the lease table."""
+        path = Path(cluster_root) / PROGRESS_ARTIFACT
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            path, json.dumps(self.payload(), indent=1, sort_keys=True) + "\n"
+        )
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"cluster [{self.kind} units, fingerprint {self.fingerprint}]:",
+            f"  units: {self.completed_units}/{self.total_units} complete, "
+            f"{len(self.live_leases)} leased, "
+            f"{len(self.orphaned_leases)} orphaned (ttl {self.lease_ttl:.0f}s)",
+        ]
+        live = self.live_workers
+        lines.append(
+            f"  workers: {len(live)} live of {len(self.workers)} seen"
+        )
+        for worker in self.workers:
+            state = (
+                "done"
+                if worker.done
+                else ("live" if worker in live else "gone")
+            )
+            lines.append(
+                f"    {worker.worker_id}: {worker.units} units "
+                f"(+{worker.skipped} skipped), "
+                f"{worker.simulation_calls} sims, "
+                f"{worker.units_per_sec:.2f} units/s [{state}]"
+            )
+        for lease in self.orphaned_leases:
+            lines.append(
+                f"    orphaned: {lease.unit} (owner {lease.owner}, "
+                f"idle {lease.age:.0f}s) — reclaimable"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _StoreView:
+    """Just enough of the queue protocol for a read-only status scan."""
+
+    kind: str
+    fingerprint: str
+    cluster_root: Path
+    total: int
+    pending: list[str]
+
+    def total_units(self) -> int:
+        return self.total
+
+    def pending_units(self) -> list[str]:
+        return self.pending
+
+
+def store_cluster_status(store, ttl: float) -> "ClusterStatus | None":
+    """Cluster snapshot of an experiment store, ``None`` if never clustered.
+
+    A read-only sibling of :meth:`ClusterStatus.collect` that needs only
+    the store (no runner, no programs) — what the CLI ``status`` command
+    calls.  Returns ``None`` when no worker has ever touched the store.
+    """
+    from repro.cluster.queue import CLUSTER_DIR
+
+    if store.root is None:
+        return None
+    cluster_root = Path(store.root) / CLUSTER_DIR
+    if not cluster_root.is_dir():
+        return None
+    view = _StoreView(
+        kind="shard",
+        fingerprint=store.grid.fingerprint(),
+        cluster_root=cluster_root,
+        total=store.grid.n_shards,
+        pending=[key.stem() for key in store.pending_keys()],
+    )
+    return ClusterStatus.collect(view, ttl)

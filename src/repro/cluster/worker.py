@@ -1,0 +1,228 @@
+"""The worker loop: claim → verify → compute → checkpoint → release.
+
+One :class:`ClusterWorker` is one process's share of a cluster drain.
+Its loop re-derives everything from shared state each pass — pending
+units from the store manifest, availability from the lease table — so
+workers need no knowledge of each other and can join or die at any
+point:
+
+1. scan the store's pending units;
+2. claim the first unleased one (``O_EXCL``; stale leases reclaimed);
+3. *re-check the store after claiming* — a reclaimed unit whose first
+   owner finished before dying, or one a racing peer just completed, is
+   released untouched, which is what makes reclaim cost zero
+   re-simulation;
+4. compute the unit while a daemon thread heartbeats the lease;
+5. checkpoint through the store's atomic append-only write, release,
+   and update this worker's progress file.
+
+When every pending unit is leased by peers the worker naps briefly and
+rescans: either a peer finishes (the unit leaves pending) or dies (the
+lease goes stale and is reclaimed).  The loop ends when the store has no
+pending units — workers drain the queue, they do not wait for each
+other.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.cluster.lease import DEFAULT_LEASE_TTL, LeaseTable
+from repro.cluster.queue import WorkQueue
+from repro.cluster.status import ClusterProgress, ClusterStatus
+
+
+@dataclass
+class WorkerReport:
+    """What one :meth:`ClusterWorker.run` call actually did."""
+
+    worker_id: str
+    units_completed: int = 0
+    #: Units claimed but found already checkpointed — a reclaim of a
+    #: finished unit, or a peer completing it between scan and claim.
+    #: Skips cost a sidecar read, never a simulation.
+    units_skipped: int = 0
+    simulation_calls: int = 0
+    store_hits: int = 0
+    wait_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+
+class ClusterWorker:
+    """One process draining one work queue through the shared lease table.
+
+    Args:
+        queue: the :class:`~repro.cluster.queue.WorkQueue` to drain.
+        worker_id: stable identity for leases and progress (default:
+            host + pid + random token, unique per instance).
+        lease_ttl: seconds without a heartbeat before this cluster's
+            leases count as stale.
+        poll_interval: nap length when every pending unit is leased by a
+            peer (default: a quarter TTL, capped at one second).
+        max_units: stop after computing this many units (budgeted
+            drains; skipped units do not count).
+        progress: optional free-text progress hook, CLI style.
+        on_unit: optional structured hook, fired as ``on_unit(unit,
+            stats)`` right after each computed unit's checkpoint lands.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        worker_id: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll_interval: float | None = None,
+        max_units: int | None = None,
+        progress: Callable[[str], None] | None = None,
+        on_unit: Callable[[str, dict], None] | None = None,
+    ):
+        self.queue = queue
+        self.worker_id = (
+            worker_id
+            if worker_id is not None
+            else f"{socket.gethostname()}-{os.getpid()}-{os.urandom(2).hex()}"
+        )
+        self.leases = LeaseTable(
+            Path(queue.cluster_root) / LeaseTable.LEASE_SUBDIR,
+            queue.fingerprint,
+            ttl=lease_ttl,
+        )
+        self.poll_interval = (
+            poll_interval
+            if poll_interval is not None
+            else min(1.0, lease_ttl / 4)
+        )
+        self.max_units = max_units
+        self.progress = progress
+        self.on_unit = on_unit
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> WorkerReport:
+        """Drain the queue; return this worker's share of the work."""
+        started = time.monotonic()
+        report = WorkerReport(worker_id=self.worker_id)
+        tracker = ClusterProgress(self.queue.cluster_root, self.worker_id)
+        total = self.queue.total_units()
+        while True:
+            if (
+                self.max_units is not None
+                and report.units_completed >= self.max_units
+            ):
+                break
+            pending = self.queue.pending_units()
+            if not pending:
+                break
+            claimed_any = False
+            for unit in pending:
+                if (
+                    self.max_units is not None
+                    and report.units_completed >= self.max_units
+                ):
+                    break
+                if not self.leases.try_claim(unit, self.worker_id):
+                    continue
+                claimed_any = True
+                try:
+                    if self.queue.is_done(unit):
+                        report.units_skipped += 1
+                        continue
+                    stats = self._execute_leased(unit)
+                finally:
+                    self.leases.release(unit, self.worker_id)
+                report.units_completed += 1
+                report.simulation_calls += int(
+                    stats.get("simulation_calls", 0)
+                )
+                report.store_hits += int(stats.get("store_hits", 0))
+                tracker.write(
+                    report.units_completed,
+                    report.units_skipped,
+                    report.simulation_calls,
+                    report.store_hits,
+                )
+                if self.on_unit is not None:
+                    self.on_unit(unit, stats)
+                if self.progress is not None:
+                    done = total - len(self.queue.pending_units())
+                    self.progress(
+                        f"{self.queue.kind} {unit} done by "
+                        f"{self.worker_id} ({done}/{total})"
+                    )
+            if not claimed_any:
+                # Everything pending is leased by live peers: wait for
+                # them to finish (unit leaves pending) or die (lease
+                # goes stale, next scan reclaims it).
+                report.wait_seconds += self.poll_interval
+                time.sleep(self.poll_interval)
+        report.wall_seconds = time.monotonic() - started
+        tracker.write(
+            report.units_completed,
+            report.units_skipped,
+            report.simulation_calls,
+            report.store_hits,
+            done=True,
+        )
+        # Leave a fresh aggregate snapshot for observers; last writer
+        # wins with near-identical content.
+        ClusterStatus.collect(self.queue, self.leases.ttl).write_artifact(
+            self.queue.cluster_root
+        )
+        return report
+
+    # ------------------------------------------------------------ internals
+    def _execute_leased(self, unit: str) -> dict:
+        """Compute one claimed unit under a heartbeat thread.
+
+        The heartbeat keeps the lease fresh at a quarter TTL while the
+        unit computes; losing the lease mid-compute (a peer reclaimed
+        after a stall) is deliberately not fatal — the computation
+        finishes and its atomic write is either first or identical.
+        """
+        stop = threading.Event()
+
+        def pump() -> None:
+            while not stop.wait(self.leases.ttl / 4):
+                self.leases.heartbeat(unit, self.worker_id)
+
+        beat = threading.Thread(target=pump, daemon=True)
+        beat.start()
+        try:
+            return self.queue.execute(unit)
+        finally:
+            stop.set()
+            beat.join()
+
+
+def run_local_workers(
+    cli_args: Sequence[str],
+    workers: int,
+    python: str | None = None,
+    env: dict | None = None,
+) -> list[int]:
+    """Spawn a local fleet of ``repro-experiments worker`` processes.
+
+    Each subprocess is one independent single-worker CLI invocation —
+    real process isolation, the same code path a multi-host deployment
+    runs — and this call blocks until all of them drain the queue.
+    Returns their exit codes in spawn order.  ``cli_args`` is everything
+    after ``worker`` (scale, cache dir, lease knobs).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    command = [
+        python if python is not None else sys.executable,
+        "-m",
+        "repro.cli",
+        "worker",
+        *cli_args,
+    ]
+    procs = [subprocess.Popen(command, env=env) for _ in range(workers)]
+    return [proc.wait() for proc in procs]

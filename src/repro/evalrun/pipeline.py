@@ -32,7 +32,8 @@ from repro.evalrun.foldstore import FoldKey, FoldRecord, FoldRow, FoldStore
 from repro.evalrun.oracle import RuntimeOracle
 from repro.evalrun.variants import VariantSpec, make_predictor
 from repro.parallel import (
-    EXECUTORS,
+    CLUSTER,
+    RUNNER_EXECUTORS,
     resolve_jobs,
     resolve_strategy,
     run_batch_completed,
@@ -181,11 +182,17 @@ class EvaluationPipeline:
             (only the oracle's out-of-grid fallback compiles them).
         store: the (possibly partially filled) fold store to complete.
         jobs: worker count (1 = serial, negative = all cores).
-        executor: ``auto``, ``serial``, ``thread``, or ``process``.
+        executor: ``auto``, ``serial``, ``thread``, ``process``, or
+            ``cluster`` — the last claims folds through the shared
+            lease table of :mod:`repro.cluster`, so any number of
+            concurrent pipeline processes (this host or peers on a
+            shared filesystem) drain the same fold store together.
         compiler: memoising compiler shared by serial/thread fallback
             compilations; process workers build their own.
         vectorize: batched oracle fallbacks ride the bit-identical
             vector kernel (default) or the scalar reference.
+        lease_ttl: for ``cluster`` only — seconds without a heartbeat
+            before this store's leases count as stale and reclaimable.
     """
 
     def __init__(
@@ -197,10 +204,11 @@ class EvaluationPipeline:
         executor: str = "auto",
         compiler=None,
         vectorize: bool = True,
+        lease_ttl: float | None = None,
     ):
-        if executor not in EXECUTORS:
+        if executor not in RUNNER_EXECUTORS:
             raise ValueError(
-                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+                f"unknown executor {executor!r}; choose from {RUNNER_EXECUTORS}"
             )
         self.training = training
         if isinstance(programs, Mapping):
@@ -211,6 +219,7 @@ class EvaluationPipeline:
         self.jobs = resolve_jobs(jobs)
         self.executor = executor
         self.vectorize = vectorize
+        self.lease_ttl = lease_ttl
         self.oracle = RuntimeOracle(
             training, self.programs, compiler=compiler, vectorize=vectorize
         )
@@ -245,6 +254,10 @@ class EvaluationPipeline:
         stats = PipelineRunStats(folds_skipped=skipped)
         if not pending:
             return stats
+        if self.executor == CLUSTER:
+            return self._run_cluster(
+                variants, max_folds, skipped, len(requested), progress, on_fold
+            )
 
         workers, strategy = resolve_strategy(
             self.jobs, self.executor, len(pending)
@@ -302,6 +315,49 @@ class EvaluationPipeline:
         return self.assemble(variants=variants)
 
     # ------------------------------------------------------------ internals
+    def _run_cluster(
+        self,
+        variants: Sequence[str] | None,
+        max_folds: int | None,
+        skipped: int,
+        total: int,
+        progress: Callable[[str], None] | None,
+        on_fold: Callable[[FoldKey, int, int], None] | None,
+    ) -> PipelineRunStats:
+        """One cluster worker's share of the protocol: claim, compute,
+        checkpoint folds through the shared lease table.  Run any number
+        of these concurrently against the same fold store root."""
+        from repro.cluster import ClusterWorker, FoldQueue
+        from repro.cluster.lease import DEFAULT_LEASE_TTL
+
+        queue = FoldQueue(self, variants)
+        stats = PipelineRunStats(folds_skipped=skipped)
+
+        def on_unit(unit: str, unit_stats: dict) -> None:
+            stats.folds_computed += 1
+            stats.simulation_calls += int(
+                unit_stats.get("simulation_calls", 0)
+            )
+            stats.store_hits += int(unit_stats.get("store_hits", 0))
+            if on_fold is not None:
+                completed = total - len(
+                    self.store.pending_keys(queue.variants)
+                )
+                on_fold(queue._keys[unit], completed, total)
+
+        ClusterWorker(
+            queue,
+            lease_ttl=(
+                self.lease_ttl
+                if self.lease_ttl is not None
+                else DEFAULT_LEASE_TTL
+            ),
+            max_units=max_folds,
+            progress=progress,
+            on_unit=on_unit,
+        ).run()
+        return stats
+
     def _predictor_for(self, variant_key: str):
         with self._fit_lock:
             predictor = self._predictors.get(variant_key)

@@ -27,6 +27,16 @@ R = TypeVar("R")
 #: Recognised executor strategies.
 EXECUTORS = ("auto", "serial", "thread", "process")
 
+#: The lease-coordinated distributed strategy of :mod:`repro.cluster`.
+#: Not a batch strategy: a cluster run claims units through the shared
+#: lease table instead of fanning a fixed batch over a pool, so only the
+#: store runner and protocol pipeline accept it — the plain batch
+#: helpers below do not.
+CLUSTER = "cluster"
+
+#: Executor names the runner/pipeline layers accept.
+RUNNER_EXECUTORS = EXECUTORS + (CLUSTER,)
+
 
 def resolve_jobs(jobs: int | None) -> int:
     """Normalise a ``--jobs`` knob: None/0 → 1, negative → all cores."""

@@ -19,11 +19,21 @@ checkpointed fold store, so recovery re-simulates nothing::
         job-0001/
             meta.json        # {"format", "id", "params"}
             events.ndjson    # {"chain": <digest>, "event": {...}} per line
+            snapshot.json    # compacted history (terminal jobs only)
 
 The chain digest of line *n* covers line *n-1*'s digest plus the event's
 canonical JSON, so replay stops at the first torn or tampered line and
 everything before it is known-good — an interrupted append costs at most
 the event being written, never the history.
+
+Finished jobs can be **compacted** (:meth:`JobManager.compact`): the
+event journal is rewritten as one atomic ``snapshot.json`` carrying the
+full event list and its final chain digest, and the per-event NDJSON is
+deleted.  Loading verifies the snapshot by recomputing the chain from
+the seed, so a tampered snapshot is rejected wholesale.  A crash between
+the snapshot write and the NDJSON unlink is safe: replay continues from
+the snapshot's chain digest, so the stale NDJSON (whose first line
+chains from the seed) breaks at line 1 and is discarded.
 """
 
 from __future__ import annotations
@@ -76,6 +86,7 @@ class JobJournal:
 
     META_NAME = "meta.json"
     EVENTS_NAME = "events.ndjson"
+    SNAPSHOT_NAME = "snapshot.json"
 
     def __init__(self, root: Path):
         self.root = Path(root)
@@ -106,15 +117,54 @@ class JobJournal:
             return None
         return meta
 
+    def load_snapshot(self, job_id: str) -> tuple[list[dict], str] | None:
+        """The compacted history, verified, or ``None`` to fall back.
+
+        The chain digest is recomputed from the seed over the stored
+        events; a mismatch (tampering, truncation survived by a
+        non-atomic writer, foreign job id) rejects the whole snapshot
+        rather than trusting an unverifiable prefix.
+        """
+        path = self.root / self.SNAPSHOT_NAME
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or data.get("format") != JOB_FORMAT:
+            return None
+        if data.get("id") != job_id:
+            return None
+        events = data.get("events")
+        if not isinstance(events, list) or not all(
+            isinstance(event, dict) for event in events
+        ):
+            return None
+        chain = _chain_seed(job_id)
+        for event in events:
+            chain = _chain_digest(chain, event)
+        if data.get("chain") != chain:
+            return None
+        return events, chain
+
     def load_events(self, job_id: str) -> tuple[list[dict], str]:
         """Replay the verified journal prefix and its final chain digest.
 
         Replay stops at the first unparseable, newline-less (a kill mid
         append), or chain-breaking line: everything before it is verified
         append-order history, everything after is discarded as torn.
+
+        A verified snapshot (see :meth:`compact`) seeds the replay: its
+        events come first and the NDJSON must chain *from the snapshot's
+        digest*.  An NDJSON file left behind by a crash mid-compaction
+        chains from the seed instead, so it breaks at line 1 and the
+        snapshot alone wins — no event is ever counted twice.
         """
         chain = _chain_seed(job_id)
         events: list[dict] = []
+        snapshot = self.load_snapshot(job_id)
+        if snapshot is not None:
+            snapshot_events, chain = snapshot
+            events.extend(dict(event) for event in snapshot_events)
         path = self.root / self.EVENTS_NAME
         if not path.exists():
             return events, chain
@@ -146,6 +196,33 @@ class JobJournal:
             handle.flush()
             os.fsync(handle.fileno())
         return new_chain
+
+    def compact(self, job_id: str, events: list[dict], chain: str) -> None:
+        """Collapse the event journal into one atomic snapshot file.
+
+        The snapshot is renamed into place *before* the NDJSON is
+        unlinked, so every crash window leaves a loadable history:
+        before the rename the journal is untouched; after it the
+        snapshot is authoritative and any leftover NDJSON fails its
+        chain check at line 1 on the next load.  Idempotent — a second
+        call just rewrites the snapshot and re-unlinks.
+        """
+        atomic_write_text(
+            self.root / self.SNAPSHOT_NAME,
+            json.dumps(
+                {
+                    "format": JOB_FORMAT,
+                    "id": job_id,
+                    "chain": chain,
+                    "events": list(events),
+                },
+                indent=1,
+            ),
+        )
+        try:
+            (self.root / self.EVENTS_NAME).unlink()
+        except FileNotFoundError:
+            pass
 
     def destroy(self) -> None:
         shutil.rmtree(self.root, ignore_errors=True)
@@ -225,6 +302,21 @@ class Job:
             if event is not None:
                 self._append_locked(event)
             self._condition.notify_all()
+
+    def compact(self) -> bool:
+        """Collapse this job's on-disk journal into one snapshot file.
+
+        Only terminal, journalled jobs compact — a running job's journal
+        is still being appended to, and an in-memory job has nothing on
+        disk.  Returns whether a snapshot was written.
+        """
+        with self._condition:
+            if self._journal is None or self._state not in ("done", "failed"):
+                return False
+            self._journal.compact(
+                self.id, [dict(event) for event in self._events], self._chain
+            )
+            return True
 
     def snapshot(self) -> dict:
         """The job's current state for ``GET /jobs/<id>``."""
@@ -383,6 +475,22 @@ class JobManager:
     def get(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
+
+    def compact(self, job_id: str | None = None) -> int:
+        """Snapshot finished jobs' journals; returns how many compacted.
+
+        With ``job_id`` only that job is considered; otherwise every
+        finished job is.  Unfinished, unknown, and in-memory jobs are
+        skipped, never errors — compaction is an optimisation, not a
+        lifecycle step.
+        """
+        with self._lock:
+            if job_id is not None:
+                job = self._jobs.get(job_id)
+                jobs = [job] if job is not None else []
+            else:
+                jobs = list(self._jobs.values())
+        return sum(1 for job in jobs if job.compact())
 
     def list(self) -> list[dict]:
         with self._lock:

@@ -90,10 +90,14 @@ class ServiceError(Exception):
 
 
 class ServiceMetrics:
-    """Per-endpoint request counts and latency percentiles.
+    """Per-endpoint and per-channel request counts and latency percentiles.
 
-    Latencies are kept in a bounded per-endpoint window; percentiles are
+    Latencies are kept in a bounded window per key; percentiles are
     computed on read (nearest-rank), so recording stays O(1) per request.
+    Endpoints and routing channels are separate key spaces: ``/predict``
+    traffic lands in one endpoint bucket *and* in the bucket of the
+    channel whose promoted model answered it, so a slow canary model is
+    visible without un-mixing the shared endpoint window.
     """
 
     WINDOW = 1024
@@ -103,17 +107,48 @@ class ServiceMetrics:
         self._counts: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._latencies: dict[str, list[float]] = {}
+        self._channel_counts: dict[str, int] = {}
+        self._channel_errors: dict[str, int] = {}
+        self._channel_latencies: dict[str, list[float]] = {}
         self._started = time.monotonic()
+
+    def _record(
+        self,
+        counts: dict[str, int],
+        errors: dict[str, int],
+        latencies: dict[str, list[float]],
+        key: str,
+        seconds: float,
+        error: bool,
+    ) -> None:
+        counts[key] = counts.get(key, 0) + 1
+        if error:
+            errors[key] = errors.get(key, 0) + 1
+        window = latencies.setdefault(key, [])
+        window.append(seconds)
+        if len(window) > self.WINDOW:
+            del window[: len(window) - self.WINDOW]
 
     def observe(self, endpoint: str, seconds: float, error: bool = False) -> None:
         with self._lock:
-            self._counts[endpoint] = self._counts.get(endpoint, 0) + 1
-            if error:
-                self._errors[endpoint] = self._errors.get(endpoint, 0) + 1
-            window = self._latencies.setdefault(endpoint, [])
-            window.append(seconds)
-            if len(window) > self.WINDOW:
-                del window[: len(window) - self.WINDOW]
+            self._record(
+                self._counts, self._errors, self._latencies,
+                endpoint, seconds, error,
+            )
+
+    def observe_channel(
+        self, channel: str, seconds: float, error: bool = False
+    ) -> None:
+        """Attribute one answered (or failed) request to a routing channel."""
+        with self._lock:
+            self._record(
+                self._channel_counts,
+                self._channel_errors,
+                self._channel_latencies,
+                channel,
+                seconds,
+                error,
+            )
 
     @staticmethod
     def _percentile(ordered: list[float], fraction: float) -> float:
@@ -126,29 +161,50 @@ class ServiceMetrics:
         index = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
         return ordered[index]
 
+    @classmethod
+    def _summarise(
+        cls,
+        counts: dict[str, int],
+        errors: dict[str, int],
+        latencies: dict[str, list[float]],
+    ) -> dict:
+        summaries = {}
+        for key, count in sorted(counts.items()):
+            ordered = sorted(latencies.get(key, []))
+            summary = {
+                "count": count,
+                "errors": errors.get(key, 0),
+            }
+            if ordered:
+                summary["latency_ms"] = {
+                    "mean": sum(ordered) / len(ordered) * 1000.0,
+                    "p50": cls._percentile(ordered, 0.50) * 1000.0,
+                    "p90": cls._percentile(ordered, 0.90) * 1000.0,
+                    "p99": cls._percentile(ordered, 0.99) * 1000.0,
+                    "max": ordered[-1] * 1000.0,
+                }
+            summaries[key] = summary
+        return summaries
+
     def snapshot(self) -> dict:
         with self._lock:
             counts = dict(self._counts)
             errors = dict(self._errors)
             latencies = {key: list(window) for key, window in self._latencies.items()}
-            uptime = time.monotonic() - self._started
-        endpoints = {}
-        for endpoint, count in sorted(counts.items()):
-            ordered = sorted(latencies.get(endpoint, []))
-            summary = {
-                "count": count,
-                "errors": errors.get(endpoint, 0),
+            channel_counts = dict(self._channel_counts)
+            channel_errors = dict(self._channel_errors)
+            channel_latencies = {
+                key: list(window)
+                for key, window in self._channel_latencies.items()
             }
-            if ordered:
-                summary["latency_ms"] = {
-                    "mean": sum(ordered) / len(ordered) * 1000.0,
-                    "p50": self._percentile(ordered, 0.50) * 1000.0,
-                    "p90": self._percentile(ordered, 0.90) * 1000.0,
-                    "p99": self._percentile(ordered, 0.99) * 1000.0,
-                    "max": ordered[-1] * 1000.0,
-                }
-            endpoints[endpoint] = summary
-        return {"uptime_seconds": uptime, "endpoints": endpoints}
+            uptime = time.monotonic() - self._started
+        return {
+            "uptime_seconds": uptime,
+            "endpoints": self._summarise(counts, errors, latencies),
+            "channels": self._summarise(
+                channel_counts, channel_errors, channel_latencies
+            ),
+        }
 
 
 class LoadLimiter:
@@ -587,12 +643,30 @@ class PredictionService:
         concurrent requests coalesce into one kernel pass, with each
         caller's payload — and each caller's error — exactly what the
         unbatched path would produce.
+
+        Every request is also attributed to its routing channel in the
+        metrics (``self.channel`` when the payload names none), so
+        ``/metrics`` can show a slow or failing canary separately from
+        stable traffic.  Batched requests time the whole call — queue
+        wait included — because that is the latency the caller saw.
         """
-        if "items" in payload:
-            return self._predict_batch(payload)
-        if self.batcher is not None:
-            return self.batcher.submit(payload)
-        return self._predict_one(payload)
+        channel = _channel_from(payload)  # malformed channels fail pre-metrics
+        name = self.channel if channel is None else channel
+        started = time.perf_counter()
+        try:
+            if "items" in payload:
+                response = self._predict_batch(payload)
+            elif self.batcher is not None:
+                response = self.batcher.submit(payload)
+            else:
+                response = self._predict_one(payload)
+        except BaseException:
+            self.metrics.observe_channel(
+                name, time.perf_counter() - started, error=True
+            )
+            raise
+        self.metrics.observe_channel(name, time.perf_counter() - started)
+        return response
 
     def _predict_one(self, payload: dict) -> dict:
         """The unbatched single-predict path (ground truth for batching)."""

@@ -22,7 +22,8 @@ from typing import Callable, Sequence
 from repro.compiler.ir import Program
 from repro.compiler.pipeline import Compiler
 from repro.parallel import (
-    EXECUTORS,
+    CLUSTER,
+    RUNNER_EXECUTORS,
     resolve_jobs,
     resolve_strategy,
     run_batch_completed,
@@ -43,10 +44,16 @@ class ExperimentRunner:
             (its cache makes consecutive chunks of one program reuse
             every compiled binary); process workers rebuild their own.
         jobs: worker count (1 = serial, negative = all cores).
-        executor: ``auto``, ``serial``, ``thread``, or ``process``.
+        executor: ``auto``, ``serial``, ``thread``, ``process``, or
+            ``cluster`` — the last claims shards through the shared
+            lease table of :mod:`repro.cluster`, so any number of
+            concurrent runner processes (this host or peers on a shared
+            filesystem) drain the same store together.
         vectorize: route each shard's simulations through the
             bit-identical :func:`repro.sim.vector.simulate_many` kernel
             (default) or the scalar reference loop.
+        lease_ttl: for ``cluster`` only — seconds without a heartbeat
+            before this store's leases count as stale and reclaimable.
     """
 
     def __init__(
@@ -57,16 +64,18 @@ class ExperimentRunner:
         jobs: int | None = 1,
         executor: str = "auto",
         vectorize: bool = True,
+        lease_ttl: float | None = None,
     ):
-        if executor not in EXECUTORS:
+        if executor not in RUNNER_EXECUTORS:
             raise ValueError(
-                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+                f"unknown executor {executor!r}; choose from {RUNNER_EXECUTORS}"
             )
         self.store = store
         self.compiler = compiler if compiler is not None else Compiler()
         self.jobs = resolve_jobs(jobs)
         self.executor = executor
         self.vectorize = vectorize
+        self.lease_ttl = lease_ttl
         if programs is None:
             from repro.programs.mibench import mibench_program
 
@@ -101,6 +110,8 @@ class ExperimentRunner:
         call can be aborted (or capped) anywhere and re-entered later.
         Returns 0 when the store is already complete.
         """
+        if self.executor == CLUSTER:
+            return self._run_cluster(max_shards, progress)
         pending = self.store.pending_keys()
         total = self.store.grid.n_shards
         already = total - len(pending)
@@ -138,6 +149,30 @@ class ExperimentRunner:
         return self.store.assemble()
 
     # ------------------------------------------------------------ internals
+    def _run_cluster(
+        self, max_shards: int | None, progress: Callable[[str], None] | None
+    ) -> int:
+        """One cluster worker's share of the build: claim, compute,
+        checkpoint through the shared lease table.  Run any number of
+        these concurrently against the same store root."""
+        from repro.cluster import ClusterWorker, ShardQueue
+        from repro.cluster.lease import DEFAULT_LEASE_TTL
+
+        if not self.store.pending_keys():
+            return 0  # complete already; leave no cluster directory behind
+
+        worker = ClusterWorker(
+            ShardQueue(self),
+            lease_ttl=(
+                self.lease_ttl
+                if self.lease_ttl is not None
+                else DEFAULT_LEASE_TTL
+            ),
+            max_units=max_shards,
+            progress=progress,
+        )
+        return worker.run().units_completed
+
     def _work_item(self, key: ShardKey, settings, strategy: str):
         program = self.programs[key.program]
         machines = self.store.grid.chunk_of(key)

@@ -208,6 +208,10 @@ class StoreStatus:
 
     @property
     def fraction(self) -> float:
+        # An empty grid (defensive: GridSpec forbids it, but a hand-rolled
+        # status may not) counts as complete rather than dividing by zero.
+        if self.total_shards == 0:
+            return 1.0
         return self.completed_shards / self.total_shards
 
     def render(self) -> str:
@@ -216,9 +220,20 @@ class StoreStatus:
             f"  grid: {self.n_programs} programs x {self.n_machines} machines "
             f"x {self.n_settings} settings "
             f"(chunk {self.chunk_machines}, fingerprint {self.grid_fingerprint})",
-            f"  shards: {self.completed_shards}/{self.total_shards} complete "
-            f"({self.fraction:.0%}), {self.bytes_on_disk / 1024:.0f} KiB on disk",
         ]
+        if self.completed_shards == 0:
+            # "0/N complete (0%)" reads like a half-broken build; say
+            # what actually happened — the grid is pinned, nothing ran.
+            lines.append(
+                f"  shards: grid pinned, no shards built "
+                f"(0/{self.total_shards})"
+            )
+        else:
+            lines.append(
+                f"  shards: {self.completed_shards}/{self.total_shards} "
+                f"complete ({self.fraction:.0%}), "
+                f"{self.bytes_on_disk / 1024:.0f} KiB on disk"
+            )
         pending = [
             f"{name} {done}/{total}"
             for name, (done, total) in self.per_program.items()

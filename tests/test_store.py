@@ -226,6 +226,20 @@ class TestExperimentStore:
         assert status.per_program["search"] == (0, 2)
         assert "1/4" in status.render()
 
+    def test_status_of_pinned_but_unbuilt_store(self, tmp_path, smoke_grid):
+        """A store with a manifest but zero shards used to render a
+        misleading '0/0 complete'; it must say the grid is pinned and
+        never divide by zero."""
+        store = ExperimentStore(smoke_grid, root=tmp_path / "store")
+        status = store.status()
+        assert status.total_shards == 4
+        assert status.completed_shards == 0
+        assert status.fraction == 0.0
+        rendered = status.render()
+        assert "grid pinned, no shards built (0/4)" in rendered
+        assert "0/0" not in rendered
+        assert "%" not in rendered.split("shards:")[1].splitlines()[0]
+
     def test_memory_store_isolated_from_caller_arrays(
         self, smoke_grid, smoke_programs
     ):
