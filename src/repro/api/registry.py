@@ -39,6 +39,7 @@ from __future__ import annotations
 import contextlib
 import fcntl
 import hashlib
+import io
 import json
 import os
 import re
@@ -50,7 +51,12 @@ import numpy as np
 from repro.compiler.flags import DEFAULT_SPACE, FlagSpace
 from repro.core.predictor import OptimisationPredictor
 from repro.core.vector import stack_state_arrays
-from repro.store.store import atomic_write_text, tmp_sibling
+from repro.ioutil import (
+    atomic_write_bytes,
+    atomic_write_text,
+    tmp_sibling,
+    write_text_with_faults,
+)
 
 #: Registry file schema version; bump on incompatible layout changes.
 REGISTRY_FORMAT = 1
@@ -242,7 +248,9 @@ class ModelRegistry:
             target = self._model_path(version)
             payload["version"] = version
             tmp = tmp_sibling(target)
-            tmp.write_text(json.dumps(payload, indent=1))
+            write_text_with_faults(
+                tmp, json.dumps(payload, indent=1), site="registry.model"
+            )
             try:
                 os.link(tmp, target)
             except FileExistsError:
@@ -338,6 +346,8 @@ class ModelRegistry:
                     "channels": channels,
                 }
             ),
+            site="registry.pointer",
+            fsync=True,
         )
 
     def promoted_version(self, channel: str = DEFAULT_CHANNEL) -> int | None:
@@ -369,15 +379,14 @@ class ModelRegistry:
         if target.exists():
             return
         features, theta = stack_state_arrays(payload["model"])
-        tmp = tmp_sibling(target)
-        with open(tmp, "wb") as handle:
-            np.savez(
-                handle,
-                digest=np.array(payload["digest"]),
-                features=features,
-                theta=theta,
-            )
-        os.replace(tmp, target)
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            digest=np.array(payload["digest"]),
+            features=features,
+            theta=theta,
+        )
+        atomic_write_bytes(target, buffer.getvalue(), site="registry.arrays")
 
     def _load_arrays(
         self, version: int, digest: str

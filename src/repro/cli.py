@@ -103,6 +103,8 @@ COMMANDS = (
     "serve",
     "tournament",
     "worker",
+    "fsck",
+    "chaos",
 )
 
 #: The CI smoke-gate grid: small enough for every push, deterministic
@@ -153,6 +155,11 @@ def list_experiments() -> str:
     lines.append(
         "distributed builds: repro-experiments worker [--protocol] "
         "[--workers N] [--lease-ttl S] [--max-units N] (see README)"
+    )
+    lines.append(
+        "fault tolerance: repro-experiments fsck [--repair] [--json] | "
+        "chaos [--schedules N] [--seed N] [--scenarios s,t] [--smoke] "
+        "[--out DIR]"
     )
     return "\n".join(lines)
 
@@ -321,17 +328,98 @@ def _store_status(args) -> int:
         )
         return 0
     try:
-        from repro.cluster import DEFAULT_LEASE_TTL, store_cluster_status
+        from repro.cluster import ClusterError, DEFAULT_LEASE_TTL, store_cluster_status
 
         cluster = store_cluster_status(
             session.data.store(),
             args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
         )
-    except (StoreError, OSError, json.JSONDecodeError):
+    except (ClusterError, StoreError, OSError, json.JSONDecodeError):
         cluster = None  # cluster dir unreadable; the store view stands alone
     if cluster is not None:
         print(cluster.render())
     return 0
+
+
+def _fsck(args) -> int:
+    """The ``fsck`` subcommand: scrub every durable store under the cache.
+
+    Classifies every artifact of every store (experiment shards, fold
+    shards, registry versions and pointers, job journals, lease tables)
+    and, with ``--repair``, quarantines or truncates the damage so the
+    next resume rebuilds exactly the damaged units.  Exit code 0 when
+    the cache is clean (or fully repaired), 1 while problems remain.
+    """
+    from repro.faults.fsck import fsck_cache
+
+    report = fsck_cache(args.cache_dir, repair=args.repair, ttl=args.lease_ttl)
+    if args.json:
+        print(json.dumps(report.payload(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if not report.unrepaired else 1
+
+
+def _chaos(args, parser) -> int:
+    """The ``chaos`` subcommand: fault schedules over real workloads.
+
+    Drives dataset builds, protocol runs, cluster fleets, and the
+    serving tier under randomized (but seed-deterministic) failpoint
+    schedules, repairs with fsck, resumes, and requires every run's
+    output to be byte-identical to a clean baseline.  ``--smoke`` runs
+    the small CI gate; ``--out`` also writes ``BENCH_chaos.json``.
+    """
+    from repro.faults.chaos import SCENARIOS, run_chaos
+
+    schedules = args.schedules
+    if schedules is None:
+        schedules = 2 if args.smoke else 5
+    if schedules < 1:
+        parser.error("--schedules must be >= 1")
+    scenarios = None
+    if args.scenarios is not None:
+        scenarios = tuple(
+            name.strip() for name in args.scenarios.split(",") if name.strip()
+        )
+        unknown = set(scenarios) - set(SCENARIOS)
+        if unknown:
+            parser.error(
+                f"unknown chaos scenarios {sorted(unknown)}; "
+                f"choose from {', '.join(SCENARIOS)}"
+            )
+    progress = None if args.quiet else lambda message: print(f"  .. {message}")
+    report = run_chaos(
+        scenarios=scenarios,
+        schedules=schedules,
+        seed=args.seed if args.seed is not None else 0,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(report.payload(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+
+    if args.out is not None:
+        import platform as platform_module
+
+        import numpy
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        bench_path = out_dir / "BENCH_chaos.json"
+        bench_payload = {
+            "benchmark": "chaos",
+            "smoke": bool(args.smoke),
+            **report.payload(),
+            "python": platform_module.python_version(),
+            "numpy": numpy.__version__,
+            "platform": platform_module.platform(),
+        }
+        bench_path.write_text(
+            json.dumps(bench_payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {bench_path}")
+    return 0 if report.ok else 1
 
 
 def _worker(args, parser) -> int:
@@ -861,6 +949,42 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "with 'fsck': quarantine/truncate damaged artifacts so the "
+            "next resume rebuilds exactly the damaged units"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with 'fsck'/'chaos': emit the machine-readable report",
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=None,
+        help=(
+            "with 'chaos': randomized fault schedules per scenario "
+            "(default: 5, or 2 with --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="with 'chaos': base seed for schedule generation (default: 0)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help=(
+            "with 'chaos': comma-separated scenario subset "
+            "(build,protocol,cluster,serve; default: all)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     args = parser.parse_args(argv)
@@ -897,14 +1021,19 @@ def main(argv: list[str] | None = None) -> int:
         ["run"],
         ["report"],
         ["status"],
+        ["fsck"],
     ) and args.lease_ttl is not None:
         parser.error(
             "--lease-ttl only applies to the 'worker', 'run', 'report', "
-            "and 'status' commands"
+            "'status', and 'fsck' commands"
         )
-    if args.experiments not in (["report"], ["tournament"]) and args.out is not None:
+    if (
+        args.experiments not in (["report"], ["tournament"], ["chaos"])
+        and args.out is not None
+    ):
         parser.error(
-            "--out only applies to the 'report' and 'tournament' commands"
+            "--out only applies to the 'report', 'tournament', and "
+            "'chaos' commands"
         )
     if args.experiments != ["tournament"] and (
         args.budget is not None
@@ -912,11 +1041,26 @@ def main(argv: list[str] | None = None) -> int:
         or args.tolerance is not None
         or args.programs is not None
         or args.machines is not None
-        or args.smoke
     ):
         parser.error(
-            "--budget/--seeds/--tolerance/--programs/--machines/--smoke "
+            "--budget/--seeds/--tolerance/--programs/--machines "
             "only apply to the 'tournament' command"
+        )
+    if args.experiments not in (["tournament"], ["chaos"]) and args.smoke:
+        parser.error(
+            "--smoke only applies to the 'tournament' and 'chaos' commands"
+        )
+    if args.experiments != ["fsck"] and args.repair:
+        parser.error("--repair only applies to the 'fsck' command")
+    if args.experiments not in (["fsck"], ["chaos"]) and args.json:
+        parser.error("--json only applies to the 'fsck' and 'chaos' commands")
+    if args.experiments != ["chaos"] and (
+        args.schedules is not None
+        or args.seed is not None
+        or args.scenarios is not None
+    ):
+        parser.error(
+            "--schedules/--seed/--scenarios only apply to the 'chaos' command"
         )
     if args.experiments != ["models"] and (
         args.promote is not None or args.rollback
@@ -963,6 +1107,10 @@ def main(argv: list[str] | None = None) -> int:
         return _tournament(args, parser)
     if args.experiments == ["worker"]:
         return _worker(args, parser)
+    if args.experiments == ["fsck"]:
+        return _fsck(args)
+    if args.experiments == ["chaos"]:
+        return _chaos(args, parser)
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [name for name in names if name not in EXPERIMENTS]

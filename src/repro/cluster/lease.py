@@ -33,7 +33,12 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.store.store import atomic_write_text
+from repro.ioutil import (
+    atomic_write_text,
+    exclusive_create,
+    guarded_os_call,
+    with_retries,
+)
 
 #: Lease table schema version; bump on incompatible layout changes.
 LEASE_FORMAT = 1
@@ -57,6 +62,9 @@ class LeaseInfo:
     owner: str
     age: float
     stale: bool
+    #: The claim file exists but its payload is unreadable (zero-byte or
+    #: torn) — the crash-after-create window, or real corruption.
+    corrupt: bool = False
 
 
 class LeaseTable:
@@ -87,12 +95,21 @@ class LeaseTable:
         meta_path = self.root / self.META_NAME
         meta = self._read_meta(meta_path)
         if meta is None:
+            if meta_path.exists():
+                # A table file that exists but cannot be parsed is
+                # damage, not absence: overwriting it would silently
+                # discard whatever grid it coordinated.
+                raise ClusterError(
+                    f"lease table at {meta_path} is corrupt "
+                    f"(quarantine with fsck)"
+                )
             atomic_write_text(
                 meta_path,
                 json.dumps(
                     {"format": LEASE_FORMAT, "fingerprint": fingerprint},
                     indent=1,
                 ),
+                fsync=True,
             )
             # Two same-fingerprint creators race benignly (identical
             # bytes); re-read so a different-fingerprint loser still
@@ -140,15 +157,24 @@ class LeaseTable:
         rename that likewise has a single winner.
         """
         path = self._path(unit)
+
+        def claim() -> int:
+            # Transient OSErrors retry; FileExistsError (the race answer)
+            # propagates immediately to the except arms below.
+            return with_retries(
+                lambda: exclusive_create(path, site="lease.claim"),
+                seed_key=str(path),
+            )
+
         try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            fd = claim()
         except FileExistsError:
             age = self._age(path)
             if age is None:
                 # Released (or stolen) between our open and stat: one
                 # retry — if it is contended again, let the peer have it.
                 try:
-                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    fd = claim()
                 except FileExistsError:
                     return False
             elif age <= self.ttl:
@@ -157,7 +183,7 @@ class LeaseTable:
                 return False
             else:
                 try:
-                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    fd = claim()
                 except FileExistsError:
                     return False  # a third worker landed first; back off
         with os.fdopen(fd, "w") as handle:
@@ -209,7 +235,11 @@ class LeaseTable:
         if self.owner_of(unit) != owner:
             return False
         try:
-            os.utime(path)
+            guarded_os_call(
+                lambda: os.utime(path),
+                site="lease.heartbeat",
+                seed_key=str(path),
+            )
         except OSError:
             return False
         return True
@@ -219,25 +249,48 @@ class LeaseTable:
         if self.owner_of(unit) != owner:
             return False
         try:
-            os.unlink(self._path(unit))
+            guarded_os_call(
+                lambda: os.unlink(self._path(unit)),
+                site="lease.release",
+                seed_key=unit,
+            )
         except OSError:
             return False
         return True
 
     def leases(self) -> list[LeaseInfo]:
         """Every current claim, fresh and stale, sorted by unit."""
-        found = []
-        for path in sorted(self.root.glob(f"*{self.SUFFIX}")):
-            age = self._age(path)
-            if age is None:
-                continue  # released between glob and stat
-            unit = path.name[: -len(self.SUFFIX)]
-            found.append(
-                LeaseInfo(
-                    unit=unit,
-                    owner=self.owner_of(unit) or "<unknown>",
-                    age=age,
-                    stale=age > self.ttl,
-                )
+        return scan_leases(self.root, self.ttl)
+
+
+def scan_leases(root: str | Path, ttl: float) -> list[LeaseInfo]:
+    """Read-only scan of a lease directory.
+
+    Unlike constructing a :class:`LeaseTable`, this never creates the
+    directory, never writes ``table.json``, and never raises on a
+    corrupt or foreign table — exactly what a status view needs.
+    """
+    root = Path(root)
+    found = []
+    for path in sorted(root.glob(f"*{LeaseTable.SUFFIX}")):
+        try:
+            age = max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            continue  # released between glob and stat
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        owner = payload.get("owner") if isinstance(payload, dict) else None
+        owner = owner if isinstance(owner, str) else None
+        unit = path.name[: -len(LeaseTable.SUFFIX)]
+        found.append(
+            LeaseInfo(
+                unit=unit,
+                owner=owner or "<unknown>",
+                age=age,
+                stale=age > ttl,
+                corrupt=owner is None,
             )
-        return found
+        )
+    return found

@@ -18,8 +18,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.cluster.lease import LeaseInfo, LeaseTable
-from repro.store.store import atomic_write_text
+from repro.cluster.lease import LEASE_FORMAT, LeaseInfo, LeaseTable, scan_leases
+from repro.ioutil import atomic_write_text
 
 PROGRESS_DIR = "progress"
 PROGRESS_ARTIFACT = "progress.json"
@@ -66,6 +66,7 @@ class ClusterProgress:
                     "done": done,
                 }
             ),
+            site="progress.write",
         )
 
 
@@ -98,6 +99,13 @@ class ClusterStatus:
     leases: list[LeaseInfo]
     workers: list[WorkerStats]
     lease_ttl: float
+    #: Unreadable cluster files (zero-byte lease payloads, torn progress
+    #: files, a corrupt table.json) — reported, never a traceback.
+    corrupt_files: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.corrupt_files is None:
+            self.corrupt_files = []
 
     @property
     def live_leases(self) -> list[LeaseInfo]:
@@ -125,10 +133,34 @@ class ClusterStatus:
         and progress scans simply come back empty.
         """
         cluster_root = Path(queue.cluster_root)
+        corrupt_files: list[str] = []
         leases: list[LeaseInfo] = []
         lease_root = cluster_root / LeaseTable.LEASE_SUBDIR
         if lease_root.is_dir():
-            leases = LeaseTable(lease_root, queue.fingerprint, ttl).leases()
+            # Read-only: never construct a LeaseTable here — that would
+            # create directories, rewrite metadata, and raise on a
+            # corrupt or foreign table, none of which a status view may
+            # do.  Damage is reported instead.
+            table_path = lease_root / LeaseTable.META_NAME
+            if table_path.exists():
+                try:
+                    meta = json.loads(table_path.read_text())
+                    if not isinstance(meta, dict):
+                        raise ValueError("not an object")
+                except (OSError, json.JSONDecodeError, ValueError):
+                    corrupt_files.append(f"{LeaseTable.LEASE_SUBDIR}/{LeaseTable.META_NAME}")
+                else:
+                    if (
+                        meta.get("format") != LEASE_FORMAT
+                        or meta.get("fingerprint") != queue.fingerprint
+                    ):
+                        corrupt_files.append(f"{LeaseTable.LEASE_SUBDIR}/{LeaseTable.META_NAME}")
+            leases = scan_leases(lease_root, ttl)
+            corrupt_files.extend(
+                f"{LeaseTable.LEASE_SUBDIR}/{lease.unit}{LeaseTable.SUFFIX}"
+                for lease in leases
+                if lease.corrupt
+            )
         workers: list[WorkerStats] = []
         progress_root = cluster_root / PROGRESS_DIR
         if progress_root.is_dir():
@@ -152,8 +184,13 @@ class ClusterStatus:
                             done=bool(payload.get("done")),
                         )
                     )
-                except (OSError, json.JSONDecodeError, KeyError, ValueError):
-                    continue  # half-written by a concurrent writer, or foreign
+                except OSError:
+                    continue  # deleted between glob and read
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # Zero-byte or torn progress file: report it, never
+                    # a traceback.  (Progress rewrites are atomic, so
+                    # this is damage, not a concurrent writer.)
+                    corrupt_files.append(f"{PROGRESS_DIR}/{path.name}")
         total = queue.total_units()
         return cls(
             kind=queue.kind,
@@ -163,6 +200,7 @@ class ClusterStatus:
             leases=leases,
             workers=workers,
             lease_ttl=ttl,
+            corrupt_files=corrupt_files,
         )
 
     # -------------------------------------------------------------- artifact
@@ -175,6 +213,7 @@ class ClusterStatus:
             "leased_units": [lease.unit for lease in self.live_leases],
             "orphaned_units": [lease.unit for lease in self.orphaned_leases],
             "lease_ttl": self.lease_ttl,
+            "corrupt_files": list(self.corrupt_files),
             "workers": [
                 {
                     "worker": worker.worker_id,
@@ -227,6 +266,8 @@ class ClusterStatus:
                 f"    orphaned: {lease.unit} (owner {lease.owner}, "
                 f"idle {lease.age:.0f}s) — reclaimable"
             )
+        for name in self.corrupt_files:
+            lines.append(f"    corrupt: {name} (quarantine with fsck)")
         return "\n".join(lines)
 
 

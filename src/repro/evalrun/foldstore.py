@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Iterator, NamedTuple, Sequence
 
 from repro.evalrun.variants import VariantSpec
-from repro.store.store import atomic_write_text
+from repro.ioutil import DEFAULT_RETRY, atomic_write_text
 
 #: Manifest/shard schema version; bump on incompatible layout changes.
 FOLD_FORMAT = 1
@@ -221,7 +221,10 @@ class FoldStore:
             "metadata": self.metadata,
         }
         atomic_write_text(
-            self.root / self.MANIFEST_NAME, json.dumps(manifest, indent=1)
+            self.root / self.MANIFEST_NAME,
+            json.dumps(manifest, indent=1),
+            site="fold.manifest",
+            fsync=True,
         )
 
     # ----------------------------------------------------------------- grid
@@ -312,7 +315,13 @@ class FoldStore:
             "fingerprint": digest,
             "record": record.payload(),
         }
-        atomic_write_text(self._fold_path(key), json.dumps(shard))
+        atomic_write_text(
+            self._fold_path(key),
+            json.dumps(shard),
+            site="fold.shard",
+            fsync=True,
+            retries=DEFAULT_RETRY,
+        )
         self._known_complete.add(key)
         self._known_digests[key] = digest
 
@@ -326,7 +335,15 @@ class FoldStore:
         path = self._fold_path(key)
         if not path.exists():
             raise FoldStoreError(f"fold {key.stem()} not in store")
-        shard = json.loads(path.read_text())
+        try:
+            shard = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise FoldStoreError(
+                f"fold {key.stem()} is torn or corrupt ({error}); "
+                f"quarantine with fsck and resume"
+            ) from error
+        if not isinstance(shard, dict):
+            raise FoldStoreError(f"fold {key.stem()} is corrupt: not an object")
         if shard.get("protocol_fingerprint") != self.protocol_fingerprint:
             raise FoldStoreError(
                 f"fold {key.stem()} belongs to a different protocol"

@@ -1,0 +1,291 @@
+"""Deterministic, seed-driven failpoint registry.
+
+A *failpoint site* is a named seam in the durable-IO path (for example
+``store.shard.npz`` or ``lease.heartbeat``).  Call sites consult
+:func:`fire` before performing the guarded operation; when nothing is
+armed this is a single module-global boolean check, so leaving the
+failpoints compiled in costs effectively nothing.
+
+Arming a site attaches a *policy* (when to fire) and an *action* (what
+failure to simulate):
+
+policies
+    ``once``      fire on the first hit, then never again
+    ``nth-N``     fire on the N-th hit only (1-based)
+    ``prob-P``    fire each hit with probability ``P`` under a seeded RNG
+    ``always``    fire on every hit
+
+actions
+    ``error``     raise :class:`FaultInjected` (a simulated kill; the
+                  guarded write never happens)
+    ``enospc``    raise ``OSError(errno.ENOSPC)`` — an *OSError*, so
+                  bounded-retry wrappers treat it as transient
+    ``torn``      the writer persists a truncated artifact before
+                  raising :class:`FaultInjected` (a crash that left a
+                  half-written file behind)
+    ``crash``     terminate the process via ``os._exit(137)`` — only
+                  meaningful for subprocess drills
+
+Specs are strings ``"policy:action"`` (e.g. ``"once:torn"``,
+``"prob-0.25:enospc"``).  Schedules can be supplied to subprocesses via
+the ``REPRO_FAILPOINTS`` environment variable as comma-separated
+``site=policy:action`` pairs, with ``REPRO_FAULTS_SEED`` seeding the
+probabilistic policies; the schedule is installed at import time so
+cluster workers spawned with the variable set inherit it.
+
+:class:`FaultInjected` is deliberately *not* an ``OSError`` subclass:
+retry wrappers must absorb simulated ENOSPC (transient tolerance) but
+must never absorb a simulated crash.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+ENV_FAILPOINTS = "REPRO_FAILPOINTS"
+ENV_FAULTS_SEED = "REPRO_FAULTS_SEED"
+
+ACTIONS = ("error", "enospc", "torn", "crash")
+
+#: Fraction of the payload a ``torn`` injection persists before raising.
+TORN_KEEP_FRACTION = 0.5
+
+#: Exit status used by the ``crash`` action, matching a SIGKILLed process.
+CRASH_EXIT_STATUS = 137
+
+
+class FaultError(ValueError):
+    """A malformed failpoint spec or schedule."""
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an armed failpoint to simulate a crash at that site."""
+
+    def __init__(self, site: str, action: str, hit: int):
+        super().__init__(f"fault injected at {site} (action={action}, hit #{hit})")
+        self.site = site
+        self.action = action
+        self.hit = hit
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A single decision by an armed failpoint to fire."""
+
+    site: str
+    action: str
+    hit: int
+    keep_fraction: float = TORN_KEEP_FRACTION
+
+    def raise_now(self) -> None:
+        """Perform this injection's terminal action.
+
+        ``torn`` injections are cooperative — the writer persists the
+        truncated payload itself and then calls this — so from here
+        every action ends in an exception or process exit.
+        """
+        if self.action == "enospc":
+            raise OSError(errno.ENOSPC, f"fault injected at {self.site}: no space left on device")
+        if self.action == "crash":
+            os._exit(CRASH_EXIT_STATUS)
+        raise FaultInjected(self.site, self.action, self.hit)
+
+
+@dataclass
+class _Arm:
+    """One armed site: a parsed policy plus per-arm firing state."""
+
+    site: str
+    policy: str
+    action: str
+    nth: int = 1
+    probability: float = 0.0
+    hits: int = 0
+    injected: int = 0
+    rng: random.Random = field(default_factory=random.Random)
+
+    def decide(self) -> bool:
+        self.hits += 1
+        if self.policy == "once":
+            fire_now = self.injected == 0
+        elif self.policy == "nth":
+            fire_now = self.hits == self.nth
+        elif self.policy == "prob":
+            fire_now = self.rng.random() < self.probability
+        else:  # always
+            fire_now = True
+        if fire_now:
+            self.injected += 1
+        return fire_now
+
+
+def parse_spec(site: str, spec: str, seed: int = 0) -> _Arm:
+    """Parse a ``"policy:action"`` spec string into an :class:`_Arm`."""
+    text = spec.strip()
+    if ":" not in text:
+        raise FaultError(f"failpoint spec {spec!r} for {site!r} must look like 'policy:action'")
+    policy_text, action = (part.strip() for part in text.split(":", 1))
+    if action not in ACTIONS:
+        raise FaultError(f"unknown failpoint action {action!r} (expected one of {', '.join(ACTIONS)})")
+    arm = _Arm(site=site, policy=policy_text, action=action)
+    if policy_text in ("once", "always"):
+        pass
+    elif policy_text.startswith("nth-"):
+        arm.policy = "nth"
+        try:
+            arm.nth = int(policy_text[4:])
+        except ValueError as error:
+            raise FaultError(f"bad nth policy {policy_text!r} for {site!r}") from error
+        if arm.nth < 1:
+            raise FaultError(f"nth policy for {site!r} must be >= 1, got {arm.nth}")
+    elif policy_text.startswith("prob-"):
+        arm.policy = "prob"
+        try:
+            arm.probability = float(policy_text[5:])
+        except ValueError as error:
+            raise FaultError(f"bad prob policy {policy_text!r} for {site!r}") from error
+        if not 0.0 <= arm.probability <= 1.0:
+            raise FaultError(f"prob policy for {site!r} must be in [0, 1], got {arm.probability}")
+    else:
+        raise FaultError(f"unknown failpoint policy {policy_text!r} (expected once, nth-N, prob-P, always)")
+    # Each arm draws from its own stream so two prob-armed sites never
+    # share a sequence and the schedule stays deterministic per seed.
+    arm.rng = random.Random(seed ^ zlib.crc32(site.encode("utf-8")))
+    return arm
+
+
+def parse_schedule(text: str, seed: int = 0) -> dict[str, _Arm]:
+    """Parse a comma-separated ``site=policy:action`` schedule string."""
+    arms: dict[str, _Arm] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise FaultError(f"failpoint schedule entry {chunk!r} must look like 'site=policy:action'")
+        site, spec = (part.strip() for part in chunk.split("=", 1))
+        if not site:
+            raise FaultError(f"failpoint schedule entry {chunk!r} has an empty site name")
+        arms[site] = parse_spec(site, spec, seed=seed)
+    return arms
+
+
+class FailpointRegistry:
+    """Named failpoint sites with per-site policies and hit accounting.
+
+    Thread-safe: cluster workers running in threads share the
+    process-global registry, and the chaos harness arms/disarms around
+    concurrent drains.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._lock = threading.Lock()
+        self._arms: dict[str, _Arm] = {}
+        self._seed = seed
+        self._hits: dict[str, int] = {}
+        self._injected: dict[str, int] = {}
+        self.active = False
+
+    def arm(self, site: str, spec: str) -> None:
+        arm = parse_spec(site, spec, seed=self._seed)
+        with self._lock:
+            self._arms[site] = arm
+            self.active = True
+
+    def arm_schedule(self, schedule: dict[str, str] | str) -> None:
+        if isinstance(schedule, str):
+            parsed = parse_schedule(schedule, seed=self._seed)
+        else:
+            parsed = {site: parse_spec(site, spec, seed=self._seed) for site, spec in schedule.items()}
+        with self._lock:
+            self._arms.update(parsed)
+            self.active = bool(self._arms)
+
+    def disarm(self, site: str | None = None) -> None:
+        with self._lock:
+            if site is None:
+                self._arms.clear()
+            else:
+                self._arms.pop(site, None)
+            self.active = bool(self._arms)
+
+    def reseed(self, seed: int) -> None:
+        with self._lock:
+            self._seed = seed
+
+    def fire(self, site: str) -> Injection | None:
+        """Record a hit at ``site``; return an :class:`Injection` if armed to fire."""
+        with self._lock:
+            self._hits[site] = self._hits.get(site, 0) + 1
+            arm = self._arms.get(site)
+            if arm is None or not arm.decide():
+                return None
+            self._injected[site] = self._injected.get(site, 0) + 1
+            return Injection(site=site, action=arm.action, hit=arm.hits)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "armed": {site: f"{arm.policy}:{arm.action}" for site, arm in self._arms.items()},
+                "hits": dict(self._hits),
+                "injected": dict(self._injected),
+                "total_injected": sum(self._injected.values()),
+            }
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits.clear()
+            self._injected.clear()
+
+
+_REGISTRY = FailpointRegistry(seed=int(os.environ.get(ENV_FAULTS_SEED, "0") or "0"))
+
+
+def registry() -> FailpointRegistry:
+    """The process-global failpoint registry."""
+    return _REGISTRY
+
+
+def fire(site: str | None) -> Injection | None:
+    """Consult the global registry at ``site``; the disabled fast path.
+
+    ``site=None`` (an unguarded write) and an inactive registry both
+    cost a couple of attribute checks — this is the only overhead the
+    failpoint machinery adds to production IO.
+    """
+    if site is None or not _REGISTRY.active:
+        return None
+    return _REGISTRY.fire(site)
+
+
+@contextmanager
+def armed(schedule: dict[str, str] | str, seed: int | None = None) -> Iterator[FailpointRegistry]:
+    """Arm a schedule on the global registry for the duration of a block."""
+    if seed is not None:
+        _REGISTRY.reseed(seed)
+    _REGISTRY.arm_schedule(schedule)
+    try:
+        yield _REGISTRY
+    finally:
+        if isinstance(schedule, str):
+            sites = [chunk.split("=", 1)[0].strip() for chunk in schedule.split(",") if chunk.strip()]
+        else:
+            sites = list(schedule)
+        for site in sites:
+            _REGISTRY.disarm(site)
+
+
+def _install_from_env() -> None:
+    text = os.environ.get(ENV_FAILPOINTS, "")
+    if text:
+        _REGISTRY.arm_schedule(text)
+
+
+_install_from_env()

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import queue
 import re
 import shutil
@@ -48,7 +47,7 @@ import threading
 from pathlib import Path
 from typing import Callable, Iterator
 
-from repro.store.store import atomic_write_text
+from repro.ioutil import atomic_write_text, fsync_append
 
 #: Event types that end a job's stream.
 TERMINAL_EVENTS = ("complete", "failed")
@@ -101,6 +100,8 @@ class JobJournal:
                 {"format": JOB_FORMAT, "id": job_id, "params": dict(params)},
                 indent=1,
             ),
+            site="jobs.meta",
+            fsync=True,
         )
         return journal
 
@@ -191,10 +192,7 @@ class JobJournal:
         """Durably append one event line; returns the new chain digest."""
         new_chain = _chain_digest(chain, event)
         line = _canonical({"chain": new_chain, "event": event}) + "\n"
-        with open(self.root / self.EVENTS_NAME, "ab") as handle:
-            handle.write(line.encode())
-            handle.flush()
-            os.fsync(handle.fileno())
+        fsync_append(self.root / self.EVENTS_NAME, line.encode(), site="jobs.append")
         return new_chain
 
     def compact(self, job_id: str, events: list[dict], chain: str) -> None:
@@ -218,6 +216,8 @@ class JobJournal:
                 },
                 indent=1,
             ),
+            site="jobs.snapshot",
+            fsync=True,
         )
         try:
             (self.root / self.EVENTS_NAME).unlink()
@@ -375,8 +375,17 @@ class JobManager:
         self._lock = threading.Lock()
         self._counter = 0
         self._worker: threading.Thread | None = None
+        #: Human-readable recovery problems (unreadable root, torn job
+        #: metadata).  Surfaced by ``/healthz`` as a ``degraded`` status
+        #: instead of crashing the service at construction.
+        self.degraded_reasons: list[str] = []
         if self.root is not None:
-            self._recover()
+            try:
+                self._recover()
+            except OSError as error:
+                self.degraded_reasons.append(
+                    f"job root {self.root} is unreadable: {error}"
+                )
 
     # ------------------------------------------------------------- recovery
     def _recover(self) -> None:
@@ -391,7 +400,15 @@ class JobManager:
             journal = JobJournal(path)
             meta = journal.load_meta()
             if meta is None or meta["id"] != path.name:
-                continue  # torn or foreign meta: not a recoverable job
+                # Torn or foreign meta: not a recoverable job.  The job
+                # directory stays untouched for fsck to quarantine, and
+                # the manager reports itself degraded rather than
+                # silently forgetting the job existed.
+                self.degraded_reasons.append(
+                    f"{path.name}: corrupt meta (quarantine with fsck)"
+                )
+                self._counter = max(self._counter, int(match.group(1)))
+                continue
             events, chain = journal.load_events(meta["id"])
             job = Job(
                 meta["id"],

@@ -597,12 +597,23 @@ class PredictionService:
 
     # -------------------------------------------------------------- endpoints
     def health(self) -> dict:
+        """``GET /healthz``: liveness plus a damage report.
+
+        Durable-state damage (an unreadable promotion pointer, a torn
+        job journal found at recovery) degrades the service — it keeps
+        answering with whatever still works and says why — rather than
+        crashing it.  ``status`` is ``"ok"`` with no reasons,
+        ``"degraded"`` with them.
+        """
+        reasons: list[str] = []
         try:
             channels = self.registry.channels()
-        except RegistryError:
+        except RegistryError as error:
             channels = {}
-        return {
-            "status": "ok",
+            reasons.append(f"registry pointer unreadable: {error}")
+        reasons.extend(self.jobs.degraded_reasons)
+        payload = {
+            "status": "degraded" if reasons else "ok",
             "scale": self.session.scale.name,
             "registry": str(self.registry.root),
             "channel": self.channel,
@@ -610,6 +621,9 @@ class PredictionService:
             "model": self.model_info(),
             "jobs": self.jobs.counts(),
         }
+        if reasons:
+            payload["reasons"] = reasons
+        return payload
 
     def metrics_snapshot(self) -> dict:
         """``GET /metrics``: request stats plus load/batching gauges."""

@@ -29,14 +29,23 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
 import os
 import time
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, NamedTuple, Sequence
 
 import numpy as np
+
+from repro.ioutil import (
+    DEFAULT_RETRY,
+    atomic_write_bytes,
+    atomic_write_text,
+    tmp_sibling,
+)
 
 from repro.compiler.flags import FlagSetting
 from repro.core.training import TrainingSet
@@ -341,7 +350,10 @@ class ExperimentStore:
             "metadata": self.grid.metadata,
         }
         atomic_write_text(
-            self.root / self.MANIFEST_NAME, json.dumps(manifest, indent=1)
+            self.root / self.MANIFEST_NAME,
+            json.dumps(manifest, indent=1),
+            site="store.manifest",
+            fsync=True,
         )
 
     def _sweep_stale_tmp(self) -> None:
@@ -372,7 +384,16 @@ class ExperimentStore:
         if key in self._known_complete:
             return True
         npz_path, sidecar_path = self._shard_paths(key)
-        if not npz_path.exists() or not sidecar_path.exists():
+        try:
+            # A zero-byte array file is the torn tail an out-of-space or
+            # killed writer leaves behind; treat it — like any unreadable
+            # sidecar — as pending so resume recomputes the shard instead
+            # of tripping over it at read time.
+            if npz_path.stat().st_size == 0:
+                return False
+        except OSError:
+            return False
+        if not sidecar_path.exists():
             return False
         try:
             sidecar = json.loads(sidecar_path.read_text())
@@ -418,10 +439,15 @@ class ExperimentStore:
             self._memory[key] = arrays
             return
         npz_path, sidecar_path = self._shard_paths(key)
-        tmp = tmp_sibling(npz_path)
-        with open(tmp, "wb") as handle:
-            np.savez(handle, **dict(zip(_SHARD_ARRAY_NAMES, arrays)))
-        os.replace(tmp, npz_path)
+        buffer = io.BytesIO()
+        np.savez(buffer, **dict(zip(_SHARD_ARRAY_NAMES, arrays)))
+        atomic_write_bytes(
+            npz_path,
+            buffer.getvalue(),
+            site="store.shard.npz",
+            fsync=True,
+            retries=DEFAULT_RETRY,
+        )
         start, stop = self.grid.chunk_range(key.chunk)
         sidecar = {
             "format": STORE_FORMAT,
@@ -432,7 +458,13 @@ class ExperimentStore:
             "grid_fingerprint": self.grid.fingerprint(),
             "fingerprint": shard_fingerprint(arrays),
         }
-        atomic_write_text(sidecar_path, json.dumps(sidecar))
+        atomic_write_text(
+            sidecar_path,
+            json.dumps(sidecar),
+            site="store.shard.sidecar",
+            fsync=True,
+            retries=DEFAULT_RETRY,
+        )
         self._known_complete.add(key)
 
     def read_shard(self, key: ShardKey, verify: bool = True) -> ShardArrays:
@@ -445,8 +477,14 @@ class ExperimentStore:
         npz_path, sidecar_path = self._shard_paths(key)
         if not self.has_shard(key):
             raise StoreError(f"shard {key.stem()} not in store")
-        with np.load(npz_path) as handle:
-            arrays = tuple(handle[name] for name in _SHARD_ARRAY_NAMES)
+        try:
+            with np.load(npz_path) as handle:
+                arrays = tuple(handle[name] for name in _SHARD_ARRAY_NAMES)
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as error:
+            raise StoreError(
+                f"shard {key.stem()} is torn or corrupt ({error}); "
+                f"quarantine with fsck and resume"
+            ) from error
         if verify:
             sidecar = json.loads(sidecar_path.read_text())
             digest = shard_fingerprint(arrays)
@@ -600,18 +638,5 @@ def shard_fingerprint(arrays: Sequence[np.ndarray]) -> str:
     return digest.hexdigest()[:16]
 
 
-def tmp_sibling(path: Path) -> Path:
-    """A writer-unique temp path next to ``path``.
-
-    Uniqueness (pid + random) keeps concurrent writers of the same shard
-    from truncating each other's in-flight temp file; whoever renames
-    last wins with identical bytes.
-    """
-    token = os.urandom(4).hex()
-    return path.parent / f".{path.name}.{os.getpid()}.{token}.tmp"
-
-
-def atomic_write_text(path: Path, text: str) -> None:
-    tmp = tmp_sibling(path)
-    tmp.write_text(text)
-    os.replace(tmp, path)
+# ``tmp_sibling`` and ``atomic_write_text`` moved to :mod:`repro.ioutil`
+# (shared with every durable store); re-exported above for back-compat.
